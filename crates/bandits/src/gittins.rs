@@ -1,0 +1,308 @@
+//! Three independent algorithms for the Gittins index.
+//!
+//! The survey lists a "rich history of proofs" of the optimality of the
+//! Gittins rule; correspondingly there are several routes to *computing*
+//! the index.  Implementing three of them and checking they agree
+//! (experiment E8) is the strongest internal-consistency test available:
+//!
+//! 1. [`gittins_indices_vwb`] — the largest-index-first algorithm of
+//!    Varaiya–Walrand–Buyukkoc (1985): states are assigned indices in
+//!    decreasing order; each step solves a small linear system for the
+//!    expected discounted reward and discounted time accumulated while the
+//!    project stays inside the already-assigned ("continuation") set.
+//! 2. [`gittins_indices_restart`] — the restart-in-state formulation of
+//!    Katehakis–Veinott (1987): `γ(i) = (1-β) V_i(i)` where `V_i` is the
+//!    value of the MDP in which every state offers the extra action
+//!    "restart the project in state `i`".
+//! 3. [`gittins_indices_calibration`] — Whittle's retirement calibration:
+//!    `γ(i) = (1-β) M_i` where `M_i` is the retirement reward that makes
+//!    retiring and continuing equally attractive in state `i`; found by
+//!    bisection over optimal-stopping problems (solved by `ss-mdp`).
+
+use crate::project::BanditProject;
+use ss_mdp::stopping::{optimal_stopping, StoppingProblem};
+
+/// Solve a small dense linear system `A x = b` (Gaussian elimination with
+/// partial pivoting).  Sizes here are at most the number of project states.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        assert!(a[piv][col].abs() > 1e-12, "singular system in Gittins computation");
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for r in col + 1..n {
+            let f = a[r][col] / a[col][col];
+            if f != 0.0 {
+                for c in col..n {
+                    a[r][c] -= f * a[col][c];
+                }
+                b[r] -= f * b[col];
+            }
+        }
+    }
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc -= a[r][c] * x[c];
+        }
+        x[r] = acc / a[r][r];
+    }
+    x
+}
+
+/// Gittins indices by the Varaiya–Walrand–Buyukkoc largest-index-first
+/// algorithm.  Returns one index per state.
+pub fn gittins_indices_vwb(project: &BanditProject, discount: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&discount), "discount must be in [0,1)");
+    let k = project.num_states();
+    let beta = discount;
+    let mut index = vec![f64::NAN; k];
+    let mut in_continuation: Vec<bool> = vec![false; k];
+
+    for _round in 0..k {
+        // Expected discounted reward (N) and discounted time (D) accumulated
+        // from each continuation state until the project first leaves the
+        // continuation set.
+        let cont_states: Vec<usize> = (0..k).filter(|&i| in_continuation[i]).collect();
+        let m = cont_states.len();
+        let mut pos = vec![usize::MAX; k];
+        for (idx, &s) in cont_states.iter().enumerate() {
+            pos[s] = idx;
+        }
+        let (n_vec, d_vec) = if m == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            // (I - beta P_SS) N_S = R_S ; (I - beta P_SS) D_S = 1.
+            let mut a = vec![vec![0.0; m]; m];
+            let mut br = vec![0.0; m];
+            let bd = vec![1.0; m];
+            for (row, &s) in cont_states.iter().enumerate() {
+                a[row][row] = 1.0;
+                for &(j, p) in project.transitions(s) {
+                    if in_continuation[j] {
+                        a[row][pos[j]] -= beta * p;
+                    }
+                }
+                br[row] = project.reward(s);
+            }
+            let n_s = solve_linear(a.clone(), br);
+            let d_s = solve_linear(a, bd);
+            (n_s, d_s)
+        };
+
+        // Candidate ratio for every unassigned state.
+        let mut best_state = usize::MAX;
+        let mut best_ratio = f64::NEG_INFINITY;
+        for i in 0..k {
+            if in_continuation[i] {
+                continue;
+            }
+            let mut num = project.reward(i);
+            let mut den = 1.0;
+            for &(j, p) in project.transitions(i) {
+                if in_continuation[j] {
+                    num += beta * p * n_vec[pos[j]];
+                    den += beta * p * d_vec[pos[j]];
+                }
+            }
+            let ratio = num / den;
+            if ratio > best_ratio {
+                best_ratio = ratio;
+                best_state = i;
+            }
+        }
+        index[best_state] = best_ratio;
+        in_continuation[best_state] = true;
+    }
+    index
+}
+
+/// Gittins indices by the restart-in-state formulation: value iteration on
+/// the MDP whose actions are "continue" and "restart in `i`".
+pub fn gittins_indices_restart(project: &BanditProject, discount: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&discount));
+    let k = project.num_states();
+    let beta = discount;
+    let mut out = vec![0.0; k];
+    for restart_state in 0..k {
+        // Value iteration for V(s) = max(continue(s), restart), where
+        // restart plays the continue-backup of `restart_state`.
+        let mut v = vec![0.0f64; k];
+        loop {
+            let continue_backup = |s: usize, v: &[f64]| -> f64 {
+                project.reward(s)
+                    + beta
+                        * project
+                            .transitions(s)
+                            .iter()
+                            .map(|&(j, p)| p * v[j])
+                            .sum::<f64>()
+            };
+            let restart_value = continue_backup(restart_state, &v);
+            let mut residual = 0.0f64;
+            let mut next = vec![0.0f64; k];
+            for s in 0..k {
+                let val = continue_backup(s, &v).max(restart_value);
+                residual = residual.max((val - v[s]).abs());
+                next[s] = val;
+            }
+            v = next;
+            if residual < 1e-12 {
+                break;
+            }
+        }
+        out[restart_state] = (1.0 - beta) * v[restart_state];
+    }
+    out
+}
+
+/// Gittins indices by Whittle's retirement calibration: bisection on the
+/// retirement reward `M`, using an optimal-stopping solve per evaluation.
+pub fn gittins_indices_calibration(project: &BanditProject, discount: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&discount));
+    let k = project.num_states();
+    let beta = discount;
+    let r_max = project.rewards().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let r_min = project.rewards().iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let continues_at = |state: usize, m_retire: f64| -> bool {
+        // Does the optimal policy prefer continuing over retiring at `state`
+        // when the retirement reward is `m_retire`?
+        let problem = StoppingProblem {
+            continue_reward: project.rewards().to_vec(),
+            transitions: (0..k).map(|s| project.transitions(s).to_vec()).collect(),
+            stop_reward: vec![m_retire; k],
+            discount: beta,
+        };
+        let sol = optimal_stopping(&problem);
+        !sol.stop[state]
+    };
+
+    (0..k)
+        .map(|state| {
+            // gamma in [r_min, r_max]; M = gamma / (1 - beta).
+            let mut lo = r_min - 1e-9;
+            let mut hi = r_max + 1e-9;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if continues_at(state, mid / (1.0 - beta)) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::random_project;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})\n a={a:?}\n b={b:?}");
+        }
+    }
+
+    #[test]
+    fn constant_reward_project_has_index_equal_to_reward() {
+        // Absorbing single state with reward 0.7: index must be 0.7 under
+        // the rate-normalised convention, for every algorithm.
+        let p = BanditProject::new(vec![0.7], vec![vec![(0, 1.0)]]);
+        for beta in [0.5, 0.9, 0.99] {
+            assert!((gittins_indices_vwb(&p, beta)[0] - 0.7).abs() < 1e-9);
+            assert!((gittins_indices_restart(&p, beta)[0] - 0.7).abs() < 1e-9);
+            assert!((gittins_indices_calibration(&p, beta)[0] - 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deteriorating_project_indices_are_monotone() {
+        // A project that moves irreversibly from a good state (reward 1) to
+        // a bad absorbing state (reward 0).  The good state's index lies
+        // strictly between the two rewards and exceeds the bad state's.
+        let p = BanditProject::new(
+            vec![1.0, 0.0],
+            vec![vec![(0, 0.5), (1, 0.5)], vec![(1, 1.0)]],
+        );
+        let beta = 0.9;
+        let idx = gittins_indices_vwb(&p, beta);
+        assert!(idx[0] > idx[1]);
+        assert!(idx[0] < 1.0 + 1e-12 && idx[0] > 0.5);
+        assert!((idx[1] - 0.0).abs() < 1e-9);
+        // The top index equals the maximal reward achievable from the top
+        // state with optimal stopping; here stopping immediately is optimal
+        // because continuation only drags the average down, so idx[0] = 1.0.
+        assert!((idx[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improving_project_index_exceeds_immediate_reward() {
+        // State 0 pays nothing but leads to the absorbing jackpot state 1
+        // (reward 1).  Its Gittins index must exceed its immediate reward 0
+        // and approach 1 as beta -> 1 (the future dominates the ratio).
+        let p = BanditProject::new(
+            vec![0.0, 1.0],
+            vec![vec![(1, 1.0)], vec![(1, 1.0)]],
+        );
+        let idx_low = gittins_indices_vwb(&p, 0.5)[0];
+        let idx_high = gittins_indices_vwb(&p, 0.99)[0];
+        assert!(idx_low > 0.0);
+        assert!(idx_high > idx_low, "index should grow with patience");
+        assert!(idx_high > 0.97);
+        // Exact value: sup over stopping; continuing forever gives
+        // (beta/(1-beta)) / (1/(1-beta)) = beta.
+        assert!((idx_low - 0.5).abs() < 1e-9);
+        assert!((idx_high - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_methods_agree_on_random_projects() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        for trial in 0..8 {
+            let k = 3 + (trial % 4);
+            let p = random_project(k, &mut rng);
+            for &beta in &[0.7, 0.9] {
+                let vwb = gittins_indices_vwb(&p, beta);
+                let restart = gittins_indices_restart(&p, beta);
+                let calib = gittins_indices_calibration(&p, beta);
+                assert_vec_close(&vwb, &restart, 1e-6);
+                assert_vec_close(&vwb, &calib, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_bounded_by_reward_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let p = random_project(6, &mut rng);
+        let idx = gittins_indices_vwb(&p, 0.95);
+        let r_max = p.rewards().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let r_min = p.rewards().iter().cloned().fold(f64::INFINITY, f64::min);
+        for &g in &idx {
+            assert!(g <= r_max + 1e-9 && g >= r_min - 1e-9);
+        }
+        // The state with the maximal reward always has index exactly r_max.
+        let arg_max = p
+            .rewards()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((idx[arg_max] - r_max).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! Marginal productivity indices (MPI) and partial conservation laws
+//! for restless bandits (Niño-Mora 2001, 2002).
+//!
+//! The survey points to a "polyhedral framework for analysis and computation
+//! of the Whittle index and extensions, based on the notion of partial
+//! conservation laws".  The computational core of that framework is an
+//! **adaptive-greedy** algorithm over *active sets*: for a set `S` of states
+//! in which the project is engaged (and passive elsewhere), let
+//!
+//! * `R(S)` — the long-run average reward rate of the stationary policy
+//!   "active exactly on `S`", and
+//! * `W(S)` — its long-run average *work* rate (the stationary probability
+//!   of being active),
+//!
+//! both computed from the stationary distribution of the induced Markov
+//! chain ([`active_set_rates`]).  Starting from the empty set the algorithm
+//! repeatedly adds the state with the largest **marginal productivity rate**
+//!
+//! ```text
+//! ν_i(S) = (R(S ∪ {i}) − R(S)) / (W(S ∪ {i}) − W(S))
+//! ```
+//!
+//! and records that rate as the state's index ([`marginal_productivity_indices`]).
+//! When the project satisfies partial conservation laws relative to the
+//! nested family the run generates — numerically: every marginal work is
+//! positive and the recorded rates are non-increasing — the project is
+//! PCL-indexable and the MPI coincides with the Whittle index, giving an
+//! exact `O(K)`-stage alternative to the bisection of
+//! [`crate::restless::whittle_indices`].  Experiment E19 verifies the
+//! agreement and exercises the diagnostic.
+
+use crate::restless::RestlessProject;
+use ss_mdp::chain::MarkovChain;
+
+/// Long-run average reward and work rates of an active-set policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveSetRates {
+    /// Average reward per period.
+    pub reward_rate: f64,
+    /// Average fraction of periods the project is active.
+    pub work_rate: f64,
+}
+
+/// Stationary reward/work rates of the policy that takes the active action
+/// exactly on the states of `active_set` (and the passive action elsewhere).
+///
+/// Some active sets induce chains with several recurrent classes (the
+/// adaptive-greedy run evaluates every candidate set, not only the nested
+/// family it ends up selecting); to keep the stationary distribution
+/// well-defined the chain is mixed with a uniform restart of weight `1e-8`,
+/// which is negligible for unichain policies and selects the
+/// restart-weighted mixture of recurrent classes otherwise.
+pub fn active_set_rates(project: &RestlessProject, active_set: &[bool]) -> ActiveSetRates {
+    let k = project.num_states();
+    assert_eq!(active_set.len(), k);
+    let epsilon = 1e-8;
+    let mut p = vec![vec![epsilon / k as f64; k]; k];
+    for i in 0..k {
+        let row = if active_set[i] {
+            project.active_transitions(i)
+        } else {
+            project.passive_transitions(i)
+        };
+        for &(j, prob) in row {
+            p[i][j] += (1.0 - epsilon) * prob;
+        }
+    }
+    let chain = MarkovChain::new(p);
+    let pi = chain.stationary_distribution();
+    let mut reward_rate = 0.0;
+    let mut work_rate = 0.0;
+    for i in 0..k {
+        let r = if active_set[i] { project.active_reward(i) } else { project.passive_reward(i) };
+        reward_rate += pi[i] * r;
+        if active_set[i] {
+            work_rate += pi[i];
+        }
+    }
+    ActiveSetRates { reward_rate, work_rate }
+}
+
+/// Output of the adaptive-greedy MPI computation.
+#[derive(Debug, Clone)]
+pub struct MpiResult {
+    /// Marginal productivity index per state (higher = activate earlier).
+    pub indices: Vec<f64>,
+    /// States in the order the algorithm added them to the active set
+    /// (first added = largest index).
+    pub assignment_order: Vec<usize>,
+    /// The marginal rates in assignment order.
+    pub marginal_rates: Vec<f64>,
+    /// The marginal work `W(S ∪ {i}) − W(S)` of each assignment.
+    pub marginal_work: Vec<f64>,
+    /// `true` when every marginal work was strictly positive and the
+    /// marginal rates were non-increasing — the numerical PCL-indexability
+    /// certificate under which the MPI equals the Whittle index.
+    pub pcl_indexable: bool,
+}
+
+/// Compute the marginal productivity indices of a restless project by the
+/// adaptive-greedy algorithm over active sets.
+///
+/// `work_tolerance` guards the division: a marginal work smaller than this
+/// (in absolute value) marks the project as not PCL-indexable and the
+/// affected index is computed against the tolerance instead.
+pub fn marginal_productivity_indices(
+    project: &RestlessProject,
+    work_tolerance: f64,
+) -> MpiResult {
+    let k = project.num_states();
+    assert!(work_tolerance > 0.0);
+    let mut active = vec![false; k];
+    let mut indices = vec![f64::NAN; k];
+    let mut assignment_order = Vec::with_capacity(k);
+    let mut marginal_rates = Vec::with_capacity(k);
+    let mut marginal_work = Vec::with_capacity(k);
+    let mut pcl_indexable = true;
+
+    let mut current = active_set_rates(project, &active);
+    for _step in 0..k {
+        let mut best_state = usize::MAX;
+        let mut best_rate = f64::NEG_INFINITY;
+        let mut best_rates = current;
+        let mut best_dw = 0.0;
+        for i in 0..k {
+            if active[i] {
+                continue;
+            }
+            active[i] = true;
+            let with_i = active_set_rates(project, &active);
+            active[i] = false;
+            let dr = with_i.reward_rate - current.reward_rate;
+            let dw = with_i.work_rate - current.work_rate;
+            let rate = dr / dw.max(work_tolerance);
+            if rate > best_rate {
+                best_rate = rate;
+                best_state = i;
+                best_rates = with_i;
+                best_dw = dw;
+            }
+        }
+        if best_dw <= work_tolerance {
+            pcl_indexable = false;
+        }
+        indices[best_state] = best_rate;
+        active[best_state] = true;
+        assignment_order.push(best_state);
+        marginal_rates.push(best_rate);
+        marginal_work.push(best_dw);
+        current = best_rates;
+    }
+
+    // Non-increasing marginal rates are the other half of the certificate.
+    if marginal_rates.windows(2).any(|w| w[1] > w[0] + 1e-9) {
+        pcl_indexable = false;
+    }
+
+    MpiResult { indices, assignment_order, marginal_rates, marginal_work, pcl_indexable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::maintenance_project;
+    use crate::restless::{is_indexable, whittle_indices};
+
+    fn maint() -> RestlessProject {
+        maintenance_project(5, 0.35, 0.4, 0.95)
+    }
+
+    #[test]
+    fn all_passive_and_all_active_rates_are_consistent() {
+        let p = maint();
+        let k = p.num_states();
+        // Never repairing: the machine is eventually absorbed in the worst
+        // wear level, whose production (and hence the long-run reward rate)
+        // is zero, and no work is ever done.
+        let passive = active_set_rates(&p, &vec![false; k]);
+        assert!(passive.work_rate.abs() < 1e-6);
+        assert!(passive.reward_rate.abs() < 1e-6);
+        // Repairing every period: work rate one, reward rate equal to the
+        // (negative) repair cost.
+        let active = active_set_rates(&p, &vec![true; k]);
+        assert!((active.work_rate - 1.0).abs() < 1e-6);
+        assert!((active.reward_rate - (-0.4)).abs() < 1e-6);
+        // Repairing only badly worn machines beats both extremes.
+        let mut threshold = vec![false; k];
+        threshold[k - 1] = true;
+        let mixed = active_set_rates(&p, &threshold);
+        assert!(mixed.reward_rate > passive.reward_rate);
+        assert!(mixed.reward_rate > active.reward_rate);
+        assert!(mixed.work_rate > 0.0 && mixed.work_rate < 1.0);
+    }
+
+    #[test]
+    fn maintenance_project_is_pcl_indexable() {
+        let p = maint();
+        let mpi = marginal_productivity_indices(&p, 1e-9);
+        assert!(mpi.pcl_indexable, "maintenance project should be PCL-indexable: {mpi:?}");
+        assert!(mpi.marginal_work.iter().all(|&w| w > 0.0));
+        // Marginal rates non-increasing by construction of the certificate.
+        for w in mpi.marginal_rates.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mpi_agrees_with_the_whittle_bisection_on_indexable_projects() {
+        let p = maint();
+        assert!(is_indexable(&p, 25));
+        let whittle = whittle_indices(&p);
+        let mpi = marginal_productivity_indices(&p, 1e-9);
+        for i in 0..p.num_states() {
+            let scale = whittle[i].abs().max(1.0);
+            assert!(
+                (mpi.indices[i] - whittle[i]).abs() < 1e-4 * scale,
+                "state {i}: MPI {} vs Whittle {}",
+                mpi.indices[i],
+                whittle[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mpi_orders_states_by_wear() {
+        let p = maint();
+        let mpi = marginal_productivity_indices(&p, 1e-9);
+        // Worn machines deserve repair priority: indices weakly increase
+        // with the wear level beyond level 0.
+        for w in mpi.indices.windows(2).skip(1) {
+            assert!(w[1] >= w[0] - 1e-6, "{:?}", mpi.indices);
+        }
+        assert!(mpi.indices[4] > mpi.indices[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn active_set_length_mismatch_is_rejected() {
+        let p = maint();
+        let _ = active_set_rates(&p, &[true, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_work_tolerance_is_rejected() {
+        let p = maint();
+        let _ = marginal_productivity_indices(&p, 0.0);
+    }
+
+    #[test]
+    fn single_state_project_has_the_reward_difference_as_its_index() {
+        // One state, active pays 2.0 and passive pays 0.5: the subsidy that
+        // equalises them (the Whittle index) is 1.5, and the MPI marginal
+        // rate (R({0}) − R(∅)) / (W({0}) − W(∅)) = (2 − 0.5) / 1 is the same.
+        let p = RestlessProject::new(
+            vec![2.0],
+            vec![vec![(0, 1.0)]],
+            vec![0.5],
+            vec![vec![(0, 1.0)]],
+        );
+        let mpi = marginal_productivity_indices(&p, 1e-9);
+        assert!((mpi.indices[0] - 1.5).abs() < 1e-9, "{:?}", mpi.indices);
+        assert!(mpi.pcl_indexable);
+        let whittle = whittle_indices(&p);
+        assert!((whittle[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_order_is_a_permutation_of_the_states() {
+        let p = maint();
+        let mpi = marginal_productivity_indices(&p, 1e-9);
+        let mut seen = vec![false; p.num_states()];
+        for &s in &mpi.assignment_order {
+            assert!(!seen[s], "state {s} assigned twice");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(mpi.marginal_rates.len(), p.num_states());
+        assert_eq!(mpi.marginal_work.len(), p.num_states());
+    }
+}

@@ -1,0 +1,600 @@
+//! Restless bandits: Whittle's relaxation and index heuristic
+//! (Whittle 1988, Weber–Weiss 1990, Bertsimas–Niño-Mora 2000).
+//!
+//! Unlike the classical model, *passive* projects keep changing state, and
+//! `m >= 1` of the `N` projects must be engaged at every epoch; the Gittins
+//! theorem no longer applies and the problem is PSPACE-hard in general.
+//! The survey describes the now-standard toolkit, all of which is
+//! implemented here for the time-average criterion:
+//!
+//! * **Subsidy problems and indexability** — for a passivity subsidy `λ`,
+//!   each project becomes a two-action average-reward MDP
+//!   ([`subsidy_policy`]); the project is *indexable* if the set of states
+//!   where passivity is optimal grows monotonically with `λ`
+//!   ([`is_indexable`]).
+//! * **Whittle index** ([`whittle_indices`]) — the subsidy that makes the
+//!   two actions equally attractive in a given state, found by bisection.
+//! * **LP relaxation bound** ([`whittle_relaxation_bound`],
+//!   [`relaxation_bound_identical`]) — relax "exactly `m` active each
+//!   period" to "`m` active on average"; the resulting LP over state-action
+//!   frequencies upper-bounds every admissible policy and is solved with
+//!   `ss-lp`.
+//! * **Index policies and simulation** ([`simulate_restless`]) — the
+//!   Whittle rule (activate the `m` projects with the largest current
+//!   indices), the myopic rule and a random baseline, evaluated by long-run
+//!   simulation.
+//! * **Weber–Weiss asymptotics** ([`asymptotic_sweep`]) — `N → ∞` with
+//!   `m/N` fixed: the per-project reward of the Whittle rule approaches the
+//!   relaxation bound, reproducing the asymptotic-optimality shape quoted
+//!   in the survey (experiment E10).
+//! * **LP-occupancy priority indices** ([`lp_priority_indices`]) — a
+//!   primal heuristic extracted from the relaxation in the spirit of the
+//!   primal-dual index of Bertsimas–Niño-Mora (2000): states are ranked by
+//!   the activity share the relaxed solution assigns them.
+
+use rand::Rng;
+use ss_lp::{LinearProgram, Relation};
+use ss_mdp::average::relative_value_iteration;
+use ss_mdp::mdp::MdpBuilder;
+
+/// A restless project: separate reward vectors and transition kernels for
+/// the active and passive actions.
+#[derive(Debug, Clone)]
+pub struct RestlessProject {
+    active_rewards: Vec<f64>,
+    active_transitions: Vec<Vec<(usize, f64)>>,
+    passive_rewards: Vec<f64>,
+    passive_transitions: Vec<Vec<(usize, f64)>>,
+}
+
+impl RestlessProject {
+    /// Create a restless project; rows must be probability distributions.
+    pub fn new(
+        active_rewards: Vec<f64>,
+        active_transitions: Vec<Vec<(usize, f64)>>,
+        passive_rewards: Vec<f64>,
+        passive_transitions: Vec<Vec<(usize, f64)>>,
+    ) -> Self {
+        let k = active_rewards.len();
+        assert!(k > 0);
+        assert_eq!(passive_rewards.len(), k);
+        assert_eq!(active_transitions.len(), k);
+        assert_eq!(passive_transitions.len(), k);
+        let check = |rows: &Vec<Vec<(usize, f64)>>| {
+            for (i, row) in rows.iter().enumerate() {
+                let total: f64 = row.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-8, "row {i} sums to {total}");
+                assert!(row.iter().all(|&(j, p)| j < k && p >= -1e-12));
+            }
+        };
+        check(&active_transitions);
+        check(&passive_transitions);
+        Self { active_rewards, active_transitions, passive_rewards, passive_transitions }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.active_rewards.len()
+    }
+
+    /// Reward of the active action in state `i`.
+    pub fn active_reward(&self, i: usize) -> f64 {
+        self.active_rewards[i]
+    }
+
+    /// Reward of the passive action in state `i`.
+    pub fn passive_reward(&self, i: usize) -> f64 {
+        self.passive_rewards[i]
+    }
+
+    /// Active transition row.
+    pub fn active_transitions(&self, i: usize) -> &[(usize, f64)] {
+        &self.active_transitions[i]
+    }
+
+    /// Passive transition row.
+    pub fn passive_transitions(&self, i: usize) -> &[(usize, f64)] {
+        &self.passive_transitions[i]
+    }
+
+    /// Sample the next state given the current state and chosen action.
+    pub fn sample_next<R: Rng + ?Sized>(&self, i: usize, active: bool, rng: &mut R) -> usize {
+        let row = if active { &self.active_transitions[i] } else { &self.passive_transitions[i] };
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for &(j, p) in row {
+            acc += p;
+            if u <= acc {
+                return j;
+            }
+        }
+        row.last().unwrap().0
+    }
+
+    /// Bounds within which every Whittle index must lie (reward spread).
+    fn subsidy_bounds(&self) -> (f64, f64) {
+        let max_a = self.active_rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_a = self.active_rewards.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_p = self.passive_rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_p = self.passive_rewards.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = (max_a - min_p).abs().max((max_p - min_a).abs()).max(1.0);
+        (-4.0 * spread, 4.0 * spread)
+    }
+}
+
+/// Solve the subsidy-`λ` single-project average-reward problem; returns the
+/// optimal action per state (`true` = passive).
+pub fn subsidy_policy(project: &RestlessProject, subsidy: f64) -> Vec<bool> {
+    let k = project.num_states();
+    let mut builder = MdpBuilder::new(k);
+    for i in 0..k {
+        // Action 0: active.
+        builder.add_action(i, project.active_reward(i), project.active_transitions(i).to_vec());
+        // Action 1: passive (+ subsidy).
+        builder.add_action(
+            i,
+            project.passive_reward(i) + subsidy,
+            project.passive_transitions(i).to_vec(),
+        );
+    }
+    let mdp = builder.build();
+    let sol = relative_value_iteration(&mdp, 1e-10, 200_000);
+    sol.policy.iter().map(|&a| a == 1).collect()
+}
+
+/// Expand the initial subsidy bounds until the subsidy-problem policy is
+/// all-active at the lower end and all-passive at the upper end (the Whittle
+/// indices of every state then lie inside the returned interval).
+fn expanded_subsidy_bounds(project: &RestlessProject) -> (f64, f64) {
+    let (mut lo, mut hi) = project.subsidy_bounds();
+    for _ in 0..60 {
+        if subsidy_policy(project, hi).iter().all(|&p| p) {
+            break;
+        }
+        hi = hi * 2.0 + 1.0;
+    }
+    for _ in 0..60 {
+        if subsidy_policy(project, lo).iter().all(|&p| !p) {
+            break;
+        }
+        lo = lo * 2.0 - 1.0;
+    }
+    (lo, hi)
+}
+
+/// Check indexability numerically: the passive set must grow monotonically
+/// (by inclusion) along an increasing grid of `grid_points` subsidies.
+pub fn is_indexable(project: &RestlessProject, grid_points: usize) -> bool {
+    assert!(grid_points >= 3);
+    let (lo, hi) = expanded_subsidy_bounds(project);
+    let mut previous: Option<Vec<bool>> = None;
+    for g in 0..grid_points {
+        let lambda = lo + (hi - lo) * g as f64 / (grid_points - 1) as f64;
+        let passive = subsidy_policy(project, lambda);
+        if let Some(prev) = &previous {
+            for i in 0..passive.len() {
+                if prev[i] && !passive[i] {
+                    return false;
+                }
+            }
+        }
+        previous = Some(passive);
+    }
+    true
+}
+
+/// Whittle indices of every state (the subsidy at which the state switches
+/// from active to passive), found by bisection.  For indexable projects the
+/// result is the Whittle index; for non-indexable projects it is still a
+/// well-defined heuristic index (the smallest subsidy making passivity
+/// optimal at that state).
+pub fn whittle_indices(project: &RestlessProject) -> Vec<f64> {
+    let k = project.num_states();
+    let (lo0, hi0) = expanded_subsidy_bounds(project);
+    (0..k)
+        .map(|state| {
+            let mut lo = lo0;
+            let mut hi = hi0;
+            // Invariant target: passive at `state` for subsidy >= index.
+            for _ in 0..50 {
+                let mid = 0.5 * (lo + hi);
+                let passive = subsidy_policy(project, mid);
+                if passive[state] {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        })
+        .collect()
+}
+
+/// The Whittle LP relaxation bound on the long-run average reward of `N`
+/// (possibly heterogeneous) projects with exactly `m` active per period.
+///
+/// Variables are state-action occupation frequencies `x^n_{i,a}`; the
+/// coupling constraint requires the *average* number of active projects to
+/// equal `m`.  The optimal value upper-bounds every admissible policy.
+pub fn whittle_relaxation_bound(projects: &[RestlessProject], m: usize) -> f64 {
+    assert!(!projects.is_empty() && m >= 1 && m <= projects.len());
+    // Variable layout: for project n with k_n states, active vars then
+    // passive vars: x[n][i][a], flattened.
+    let mut var_offset = Vec::with_capacity(projects.len());
+    let mut total_vars = 0usize;
+    for p in projects {
+        var_offset.push(total_vars);
+        total_vars += 2 * p.num_states();
+    }
+    let idx = |n: usize, i: usize, active: bool, projects: &[RestlessProject]| -> usize {
+        var_offset[n] + if active { i } else { projects[n].num_states() + i }
+    };
+
+    // Objective: maximise total expected reward rate.
+    let mut objective = vec![0.0; total_vars];
+    for (n, p) in projects.iter().enumerate() {
+        for i in 0..p.num_states() {
+            objective[idx(n, i, true, projects)] = p.active_reward(i);
+            objective[idx(n, i, false, projects)] = p.passive_reward(i);
+        }
+    }
+    let mut lp = LinearProgram::maximize(objective);
+
+    for (n, p) in projects.iter().enumerate() {
+        let k = p.num_states();
+        // Normalisation: sum of frequencies = 1.
+        let mut row = vec![0.0; total_vars];
+        for i in 0..k {
+            row[idx(n, i, true, projects)] = 1.0;
+            row[idx(n, i, false, projects)] = 1.0;
+        }
+        lp.add_constraint(row, Relation::Eq, 1.0);
+        // Balance: outflow of state j equals inflow.
+        for j in 0..k {
+            let mut row = vec![0.0; total_vars];
+            row[idx(n, j, true, projects)] += 1.0;
+            row[idx(n, j, false, projects)] += 1.0;
+            for i in 0..k {
+                for &(next, prob) in p.active_transitions(i) {
+                    if next == j {
+                        row[idx(n, i, true, projects)] -= prob;
+                    }
+                }
+                for &(next, prob) in p.passive_transitions(i) {
+                    if next == j {
+                        row[idx(n, i, false, projects)] -= prob;
+                    }
+                }
+            }
+            lp.add_constraint(row, Relation::Eq, 0.0);
+        }
+    }
+    // Coupling: average number of active projects = m.
+    let mut row = vec![0.0; total_vars];
+    for (n, p) in projects.iter().enumerate() {
+        for i in 0..p.num_states() {
+            row[idx(n, i, true, projects)] = 1.0;
+        }
+    }
+    lp.add_constraint(row, Relation::Eq, m as f64);
+
+    lp.solve().expect("relaxation LP must be feasible").objective
+}
+
+/// Relaxation bound per project for `N` identical copies of `project` with
+/// an active fraction `alpha = m / N`: solved on a single copy with the
+/// coupling constraint `Σ_i x_{i,active} = alpha`, so the `N`-project bound
+/// is `N` times the returned value.
+pub fn relaxation_bound_identical(project: &RestlessProject, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha));
+    let k = project.num_states();
+    let idx = |i: usize, active: bool| -> usize { if active { i } else { k + i } };
+    let mut objective = vec![0.0; 2 * k];
+    for i in 0..k {
+        objective[idx(i, true)] = project.active_reward(i);
+        objective[idx(i, false)] = project.passive_reward(i);
+    }
+    let mut lp = LinearProgram::maximize(objective);
+    let mut norm = vec![0.0; 2 * k];
+    for i in 0..k {
+        norm[idx(i, true)] = 1.0;
+        norm[idx(i, false)] = 1.0;
+    }
+    lp.add_constraint(norm, Relation::Eq, 1.0);
+    for j in 0..k {
+        let mut row = vec![0.0; 2 * k];
+        row[idx(j, true)] += 1.0;
+        row[idx(j, false)] += 1.0;
+        for i in 0..k {
+            for &(next, prob) in project.active_transitions(i) {
+                if next == j {
+                    row[idx(i, true)] -= prob;
+                }
+            }
+            for &(next, prob) in project.passive_transitions(i) {
+                if next == j {
+                    row[idx(i, false)] -= prob;
+                }
+            }
+        }
+        lp.add_constraint(row, Relation::Eq, 0.0);
+    }
+    let mut coupling = vec![0.0; 2 * k];
+    for i in 0..k {
+        coupling[idx(i, true)] = 1.0;
+    }
+    lp.add_constraint(coupling, Relation::Eq, alpha);
+    lp.solve().expect("identical-project relaxation LP must be feasible").objective
+}
+
+/// Priority indices extracted from the relaxed solution: the activity share
+/// `x_{i,active} / (x_{i,active} + x_{i,passive})` of each state (states the
+/// relaxation never visits get index 0).  A primal heuristic in the spirit
+/// of the Bertsimas–Niño-Mora primal-dual index.
+pub fn lp_priority_indices(project: &RestlessProject, alpha: f64) -> Vec<f64> {
+    let k = project.num_states();
+    let idx = |i: usize, active: bool| -> usize { if active { i } else { k + i } };
+    let mut objective = vec![0.0; 2 * k];
+    for i in 0..k {
+        objective[idx(i, true)] = project.active_reward(i);
+        objective[idx(i, false)] = project.passive_reward(i);
+    }
+    let mut lp = LinearProgram::maximize(objective);
+    let mut norm = vec![0.0; 2 * k];
+    for i in 0..k {
+        norm[idx(i, true)] = 1.0;
+        norm[idx(i, false)] = 1.0;
+    }
+    lp.add_constraint(norm, Relation::Eq, 1.0);
+    for j in 0..k {
+        let mut row = vec![0.0; 2 * k];
+        row[idx(j, true)] += 1.0;
+        row[idx(j, false)] += 1.0;
+        for i in 0..k {
+            for &(next, prob) in project.active_transitions(i) {
+                if next == j {
+                    row[idx(i, true)] -= prob;
+                }
+            }
+            for &(next, prob) in project.passive_transitions(i) {
+                if next == j {
+                    row[idx(i, false)] -= prob;
+                }
+            }
+        }
+        lp.add_constraint(row, Relation::Eq, 0.0);
+    }
+    let mut coupling = vec![0.0; 2 * k];
+    for i in 0..k {
+        coupling[idx(i, true)] = 1.0;
+    }
+    lp.add_constraint(coupling, Relation::Eq, alpha);
+    let sol = lp.solve().expect("LP must be feasible");
+    (0..k)
+        .map(|i| {
+            let a = sol.x[idx(i, true)].max(0.0);
+            let p = sol.x[idx(i, false)].max(0.0);
+            if a + p < 1e-12 {
+                0.0
+            } else {
+                a / (a + p)
+            }
+        })
+        .collect()
+}
+
+/// How the simulator chooses which `m` projects to activate each period.
+#[derive(Debug, Clone)]
+pub enum RestlessPolicy {
+    /// Activate the `m` projects whose current state has the largest
+    /// Whittle index (indices supplied per project, per state).
+    WhittleIndex(Vec<Vec<f64>>),
+    /// Activate the `m` projects with the largest immediate reward
+    /// advantage `R_active(i) - R_passive(i)`.
+    Myopic,
+    /// Activate `m` projects chosen uniformly at random.
+    Random,
+}
+
+/// Simulate `horizon` periods of an `N`-project restless bandit activating
+/// exactly `m` projects per period; returns the average reward per period.
+pub fn simulate_restless<R: Rng + ?Sized>(
+    projects: &[RestlessProject],
+    m: usize,
+    policy: &RestlessPolicy,
+    horizon: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(m >= 1 && m <= projects.len() && horizon > 0);
+    let n = projects.len();
+    let mut states: Vec<usize> = vec![0; n];
+    let mut total = 0.0;
+    for _ in 0..horizon {
+        // Score every project.
+        let mut scored: Vec<(f64, usize)> = (0..n)
+            .map(|p| {
+                let s = states[p];
+                let score = match policy {
+                    RestlessPolicy::WhittleIndex(indices) => indices[p][s],
+                    RestlessPolicy::Myopic => {
+                        projects[p].active_reward(s) - projects[p].passive_reward(s)
+                    }
+                    RestlessPolicy::Random => rng.gen::<f64>(),
+                };
+                (score, p)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let active: Vec<usize> = scored.iter().take(m).map(|&(_, p)| p).collect();
+        let mut is_active = vec![false; n];
+        for &p in &active {
+            is_active[p] = true;
+        }
+        for p in 0..n {
+            let s = states[p];
+            if is_active[p] {
+                total += projects[p].active_reward(s);
+            } else {
+                total += projects[p].passive_reward(s);
+            }
+            states[p] = projects[p].sample_next(s, is_active[p], rng);
+        }
+    }
+    total / horizon as f64
+}
+
+/// One point of the Weber–Weiss asymptotic sweep.
+#[derive(Debug, Clone)]
+pub struct AsymptoticPoint {
+    /// Number of projects.
+    pub n_projects: usize,
+    /// Number activated per period.
+    pub m_active: usize,
+    /// Per-project average reward of the Whittle index policy.
+    pub whittle_per_project: f64,
+    /// Per-project relaxation bound.
+    pub bound_per_project: f64,
+    /// `(bound - whittle) / bound`.
+    pub relative_gap: f64,
+}
+
+/// Sweep `N` (with `m = round(alpha N)`) for identical copies of `project`,
+/// measuring the Whittle policy against the relaxation bound (E10).
+pub fn asymptotic_sweep<R: Rng + ?Sized>(
+    project: &RestlessProject,
+    alpha: f64,
+    project_counts: &[usize],
+    horizon: usize,
+    rng: &mut R,
+) -> Vec<AsymptoticPoint> {
+    let indices = whittle_indices(project);
+    let bound = relaxation_bound_identical(project, alpha);
+    project_counts
+        .iter()
+        .map(|&n| {
+            let m = ((alpha * n as f64).round() as usize).clamp(1, n);
+            let projects: Vec<RestlessProject> = (0..n).map(|_| project.clone()).collect();
+            let policy = RestlessPolicy::WhittleIndex(vec![indices.clone(); n]);
+            let avg = simulate_restless(&projects, m, &policy, horizon, rng);
+            let per_project = avg / n as f64;
+            AsymptoticPoint {
+                n_projects: n,
+                m_active: m,
+                whittle_per_project: per_project,
+                bound_per_project: bound,
+                relative_gap: (bound - per_project) / bound.abs().max(1e-12),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::maintenance_project;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn maint() -> RestlessProject {
+        maintenance_project(5, 0.35, 0.4, 0.95)
+    }
+
+    #[test]
+    fn extreme_subsidies_pin_the_policy() {
+        let p = maint();
+        let all_passive = subsidy_policy(&p, 1e5);
+        assert!(all_passive.iter().all(|&x| x), "huge subsidy must make every state passive");
+        let all_active = subsidy_policy(&p, -1e5);
+        assert!(all_active.iter().all(|&x| !x), "hugely negative subsidy must make every state active");
+        // The expanded bounds bracket both regimes.
+        let (lo, hi) = expanded_subsidy_bounds(&p);
+        assert!(subsidy_policy(&p, hi).iter().all(|&x| x));
+        assert!(subsidy_policy(&p, lo).iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn maintenance_project_is_indexable_and_indices_increase_with_wear() {
+        let p = maint();
+        assert!(is_indexable(&p, 25));
+        let idx = whittle_indices(&p);
+        // The more worn the machine, the more valuable a repair visit is, so
+        // the Whittle index should (weakly) increase with the wear level,
+        // except possibly at level 0 where repairing is pointless.
+        for w in idx.windows(2).skip(1) {
+            assert!(w[1] >= w[0] - 1e-6, "indices should increase with wear: {idx:?}");
+        }
+        assert!(idx[4] > idx[1], "badly worn machines deserve repair priority: {idx:?}");
+    }
+
+    #[test]
+    fn relaxation_bound_upper_bounds_simulation() {
+        let p = maint();
+        let n = 12;
+        let m = 4;
+        let projects: Vec<RestlessProject> = (0..n).map(|_| p.clone()).collect();
+        let bound = whittle_relaxation_bound(&projects, m);
+        let bound_identical = n as f64 * relaxation_bound_identical(&p, m as f64 / n as f64);
+        assert!((bound - bound_identical).abs() < 1e-6, "{bound} vs {bound_identical}");
+
+        let indices = whittle_indices(&p);
+        let policy = RestlessPolicy::WhittleIndex(vec![indices; n]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let avg = simulate_restless(&projects, m, &policy, 30_000, &mut rng);
+        assert!(
+            avg <= bound + 0.05 * bound.abs() + 0.05,
+            "simulated reward {avg} cannot exceed the relaxation bound {bound}"
+        );
+    }
+
+    #[test]
+    fn whittle_beats_myopic_and_random_on_maintenance() {
+        let p = maint();
+        let n = 10;
+        let m = 3;
+        let projects: Vec<RestlessProject> = (0..n).map(|_| p.clone()).collect();
+        let indices = whittle_indices(&p);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let whittle = simulate_restless(
+            &projects,
+            m,
+            &RestlessPolicy::WhittleIndex(vec![indices; n]),
+            20_000,
+            &mut rng,
+        );
+        let myopic = simulate_restless(&projects, m, &RestlessPolicy::Myopic, 20_000, &mut rng);
+        let random = simulate_restless(&projects, m, &RestlessPolicy::Random, 20_000, &mut rng);
+        assert!(whittle > myopic, "Whittle {whittle} vs myopic {myopic}");
+        assert!(whittle > random, "Whittle {whittle} vs random {random}");
+    }
+
+    #[test]
+    fn asymptotic_gap_shrinks() {
+        // E10 shape: the per-project gap to the relaxation bound shrinks as
+        // N grows with the activation fraction fixed.
+        let p = maint();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let points = asymptotic_sweep(&p, 0.3, &[5, 60], 30_000, &mut rng);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].relative_gap < points[0].relative_gap,
+            "gap should shrink with N: {:?}",
+            points
+        );
+        assert!(points[1].relative_gap < 0.1, "large-N gap should be small: {:?}", points[1]);
+    }
+
+    #[test]
+    fn lp_priority_indices_prefer_worn_states() {
+        let p = maint();
+        let idx = lp_priority_indices(&p, 0.3);
+        assert_eq!(idx.len(), 5);
+        // The relaxed solution repairs (activates) machines only after they
+        // have worn, never fresh ones, so some worn level gets a strictly
+        // larger activity share than level 0.  (Deeply worn levels may be
+        // unreachable under the relaxed solution and then carry index 0 —
+        // the known blind spot of purely primal occupancy indices.)
+        assert!(idx[0] < 0.5, "fresh machines should rarely be repaired: {idx:?}");
+        let max_worn = idx[1..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_worn > idx[0], "worn machines should be repaired more often: {idx:?}");
+    }
+}

@@ -1,0 +1,262 @@
+//! In-tree precedence constraints (Papadimitriou–Tsitsiklis 1987).
+//!
+//! Jobs form an in-tree: each job has at most one successor, and a job may
+//! start only after all its predecessors (children in the in-tree, i.e. the
+//! jobs pointing to it) have completed.  The root is processed last.  The
+//! survey cites the asymptotic optimality of simple level-based list
+//! policies for expected flowtime on parallel machines in this setting; the
+//! module provides the in-tree structure, a precedence-respecting list
+//! scheduler, and the HLF (highest-level-first) policy used as the
+//! reference heuristic.
+
+use rand::RngCore;
+use ss_core::instance::BatchInstance;
+
+/// An in-forest over `n` jobs: `parent[i]` is the job that can only start
+/// after `i` (and all other children of that job) completed; `None` marks a
+/// root.
+#[derive(Debug, Clone)]
+pub struct InTree {
+    parent: Vec<Option<usize>>,
+    level: Vec<usize>,
+}
+
+impl InTree {
+    /// Build from the parent array, validating acyclicity.
+    pub fn new(parent: Vec<Option<usize>>) -> Self {
+        let n = parent.len();
+        assert!(n > 0);
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(*p < n, "parent index out of range");
+                assert!(*p != i, "job cannot precede itself");
+            }
+        }
+        // Level = distance to the root along parent links (root has level 0);
+        // also detects cycles (path longer than n).
+        let mut level = vec![0usize; n];
+        for i in 0..n {
+            let mut cur = i;
+            let mut steps = 0;
+            while let Some(p) = parent[cur] {
+                cur = p;
+                steps += 1;
+                assert!(steps <= n, "cycle detected in precedence graph");
+            }
+            level[i] = steps;
+        }
+        Self { parent, level }
+    }
+
+    /// A balanced binary in-tree with `n` jobs (job 0 is the root and every
+    /// job `i >= 1` has parent `(i - 1) / 2`), the standard synthetic
+    /// workload for in-tree scheduling experiments.
+    pub fn balanced_binary(n: usize) -> Self {
+        assert!(n > 0);
+        let parent = (0..n).map(|i| if i == 0 { None } else { Some((i - 1) / 2) }).collect();
+        Self::new(parent)
+    }
+
+    /// A chain `n-1 -> n-2 -> ... -> 0` (maximally serial workload).
+    pub fn chain(n: usize) -> Self {
+        assert!(n > 0);
+        let parent = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        Self::new(parent)
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Level (distance to the root) of each job.
+    pub fn levels(&self) -> &[usize] {
+        &self.level
+    }
+
+    /// Number of uncompleted children (predecessors) per job, given a
+    /// completion bitmap.
+    fn open_children(&self, done: &[bool]) -> Vec<usize> {
+        let mut open = vec![0usize; self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                if !done[i] {
+                    open[*p] += 1;
+                }
+            }
+        }
+        open
+    }
+}
+
+/// The HLF (highest level first) priority order: jobs sorted by
+/// nonincreasing level, i.e. leaves deep in the tree first.
+pub fn hlf_order(tree: &InTree) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..tree.len()).collect();
+    order.sort_by(|&a, &b| tree.level[b].cmp(&tree.level[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Simulate list scheduling of `instance` on `machines` identical machines
+/// under precedence constraints `tree`: at every decision epoch (a machine
+/// becoming free or a job completing) the highest-priority *available* job
+/// (all predecessors done) starts on a free machine.
+///
+/// Returns `(total flowtime, makespan)` of the realisation.
+pub fn simulate_precedence_schedule(
+    instance: &BatchInstance,
+    tree: &InTree,
+    priority: &[usize],
+    machines: usize,
+    rng: &mut dyn RngCore,
+) -> (f64, f64) {
+    let n = instance.len();
+    assert_eq!(tree.len(), n);
+    assert_eq!(priority.len(), n);
+    let jobs = instance.jobs();
+
+    // Priority rank per job (lower rank = higher priority).
+    let mut rank = vec![0usize; n];
+    for (r, &j) in priority.iter().enumerate() {
+        rank[j] = r;
+    }
+
+    let mut done = vec![false; n];
+    let mut started = vec![false; n];
+    let mut open = tree.open_children(&done);
+    // Running jobs: (completion_time, job, machine)
+    let mut running: Vec<(f64, usize)> = Vec::new();
+    let mut free_machines = machines;
+    let mut clock = 0.0;
+    let mut total_flowtime = 0.0;
+    let mut makespan: f64 = 0.0;
+    let mut completed = 0usize;
+
+    while completed < n {
+        // Start every available job we can.
+        loop {
+            if free_machines == 0 {
+                break;
+            }
+            // Highest-priority job that is not started and has no open children.
+            let candidate = (0..n)
+                .filter(|&j| !started[j] && open[j] == 0)
+                .min_by_key(|&j| rank[j]);
+            let Some(j) = candidate else { break };
+            started[j] = true;
+            free_machines -= 1;
+            let duration = jobs[j].dist.sample(rng);
+            running.push((clock + duration, j));
+        }
+        // Advance to the next completion.
+        assert!(!running.is_empty(), "deadlock: no running job but work remains");
+        let (pos, _) = running
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .unwrap();
+        let (finish, j) = running.swap_remove(pos);
+        clock = finish;
+        done[j] = true;
+        completed += 1;
+        free_machines += 1;
+        total_flowtime += finish;
+        makespan = makespan.max(finish);
+        open = tree.open_children(&done);
+    }
+    (total_flowtime, makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use ss_distributions::{dyn_dist, Deterministic, Exponential};
+
+    fn det_instance(n: usize, p: f64) -> BatchInstance {
+        let mut b = BatchInstance::builder();
+        for _ in 0..n {
+            b = b.unweighted_job(dyn_dist(Deterministic::new(p)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_forces_serial_execution() {
+        let tree = InTree::chain(4);
+        let inst = det_instance(4, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (flow, mk) = simulate_precedence_schedule(&inst, &tree, &hlf_order(&tree), 3, &mut rng);
+        assert!((mk - 4.0).abs() < 1e-12, "a chain cannot be parallelised");
+        assert!((flow - (1.0 + 2.0 + 3.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_tree_levels() {
+        let tree = InTree::balanced_binary(7);
+        assert_eq!(tree.levels(), &[0, 1, 1, 2, 2, 2, 2]);
+        let order = hlf_order(&tree);
+        assert_eq!(&order[..4], &[3, 4, 5, 6]);
+        assert_eq!(order[6], 0);
+    }
+
+    #[test]
+    fn balanced_tree_deterministic_makespan() {
+        // 7 unit jobs, 4 machines, balanced binary tree: level-by-level
+        // execution takes 3 time units.
+        let tree = InTree::balanced_binary(7);
+        let inst = det_instance(7, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (_, mk) = simulate_precedence_schedule(&inst, &tree, &hlf_order(&tree), 4, &mut rng);
+        assert!((mk - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_precedence_matches_plain_list_scheduling() {
+        // A forest of roots (every job is its own root) behaves like plain
+        // list scheduling.
+        let parent = vec![None; 5];
+        let tree = InTree::new(parent);
+        let inst = det_instance(5, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (_, mk) = simulate_precedence_schedule(&inst, &tree, &[0, 1, 2, 3, 4], 2, &mut rng);
+        // 5 jobs of length 2 on 2 machines: makespan 6.
+        assert!((mk - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hlf_no_worse_than_reverse_on_random_trees() {
+        // The HLF heuristic should (weakly) beat the anti-HLF order for
+        // expected makespan on a balanced tree of exponential jobs.
+        let tree = InTree::balanced_binary(15);
+        let mut b = BatchInstance::builder();
+        for _ in 0..15 {
+            b = b.unweighted_job(dyn_dist(Exponential::with_mean(1.0)));
+        }
+        let inst = b.build();
+        let hlf = hlf_order(&tree);
+        let mut anti = hlf.clone();
+        anti.reverse();
+        let reps = 3000;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut hlf_mk = 0.0;
+        let mut anti_mk = 0.0;
+        for _ in 0..reps {
+            hlf_mk += simulate_precedence_schedule(&inst, &tree, &hlf, 4, &mut rng).1;
+            anti_mk += simulate_precedence_schedule(&inst, &tree, &anti, 4, &mut rng).1;
+        }
+        assert!(hlf_mk <= anti_mk * 1.02, "HLF {hlf_mk} should not lose to anti-HLF {anti_mk}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_is_rejected() {
+        let _ = InTree::new(vec![Some(1), Some(0)]);
+    }
+}

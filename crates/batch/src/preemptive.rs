@@ -1,0 +1,269 @@
+//! Preemptive single-machine scheduling (Sevcik 1974).
+//!
+//! When preemption is allowed, the optimal policy for `E[Σ w_i C_i]` is a
+//! priority-index rule whose index depends on the *attained service* of each
+//! job: the Gittins-type index
+//!
+//! ```text
+//! G_i(a) = w_i * sup_{s > 0}  P(P_i <= a + s | P_i > a)
+//!                             -----------------------------
+//!                             E[ min(P_i - a, s) | P_i > a ]
+//! ```
+//!
+//! For exponential processing times the index is constant (`w_i λ_i`, i.e.
+//! WSEPT) and preemption brings no benefit; for decreasing-hazard-rate jobs
+//! the index falls as service accrues, so the optimal policy abandons jobs
+//! that fail to finish quickly — the source of the strict improvement over
+//! WSEPT measured in experiment E2.
+//!
+//! The index is computed numerically on a quantum grid; the scheduler is a
+//! discrete-review simulator with a configurable review period.
+
+use rand::RngCore;
+use ss_core::instance::BatchInstance;
+use ss_distributions::ServiceDistribution;
+
+/// Numerically evaluate the Gittins/Sevcik index of a job with weight
+/// `weight`, processing-time distribution `dist` and attained service `a`.
+///
+/// The supremum over the stopping quantum `s` is approximated over a
+/// geometric grid spanning `[min_quantum, horizon]`.
+pub fn gittins_service_index(
+    dist: &dyn ServiceDistribution,
+    weight: f64,
+    attained: f64,
+    min_quantum: f64,
+    horizon: f64,
+    grid_points: usize,
+) -> f64 {
+    assert!(min_quantum > 0.0 && horizon > min_quantum && grid_points >= 2);
+    let sa = dist.sf(attained);
+    if sa <= 1e-12 {
+        // The job is (numerically) sure to be complete; give it top priority
+        // so the simulator finishes it off.
+        return f64::INFINITY;
+    }
+    let ratio = (horizon / min_quantum).powf(1.0 / (grid_points - 1) as f64);
+    let mut best = 0.0f64;
+    let mut s = min_quantum;
+    for _ in 0..grid_points {
+        let p_complete = dist.completion_rate(attained, s);
+        // E[min(residual, s) | survive a] by trapezoidal integration of the
+        // conditional survival function.
+        let steps = 32;
+        let h = s / steps as f64;
+        let mut integral = 0.0;
+        let mut prev = 1.0; // S(a + 0)/S(a)
+        for k in 1..=steps {
+            let cur = dist.sf(attained + k as f64 * h) / sa;
+            integral += 0.5 * (prev + cur) * h;
+            prev = cur;
+        }
+        if integral > 1e-12 {
+            best = best.max(p_complete / integral);
+        }
+        s *= ratio;
+    }
+    weight * best
+}
+
+/// Outcome of one simulated preemptive schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptiveOutcome {
+    /// Realised weighted flowtime `Σ w_i C_i`.
+    pub weighted_flowtime: f64,
+    /// Realised makespan.
+    pub makespan: f64,
+    /// Number of preemptions that occurred.
+    pub preemptions: usize,
+}
+
+/// Configuration of the discrete-review preemptive scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptiveConfig {
+    /// Review period (service quantum between scheduling decisions).
+    pub review_period: f64,
+    /// Quantum grid lower bound for the index computation.
+    pub min_quantum: f64,
+    /// Quantum grid upper bound (roughly the largest plausible residual).
+    pub index_horizon: f64,
+    /// Number of grid points for the index supremum.
+    pub grid_points: usize,
+}
+
+impl Default for PreemptiveConfig {
+    fn default() -> Self {
+        Self { review_period: 0.05, min_quantum: 0.05, index_horizon: 50.0, grid_points: 24 }
+    }
+}
+
+/// Simulate one realisation of the Gittins-index preemptive policy on a
+/// single machine.
+///
+/// Processing times are sampled up front (the scheduler never sees them);
+/// at each review epoch the job with the largest current index receives the
+/// next quantum of service.
+pub fn simulate_gittins_preemptive(
+    instance: &BatchInstance,
+    config: &PreemptiveConfig,
+    rng: &mut dyn RngCore,
+) -> PreemptiveOutcome {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let true_sizes: Vec<f64> = jobs.iter().map(|j| j.dist.sample(rng)).collect();
+    let mut attained = vec![0.0f64; n];
+    let mut done = vec![false; n];
+    let mut completion = vec![0.0f64; n];
+    let mut remaining = n;
+    let mut clock = 0.0;
+    let mut last_served: Option<usize> = None;
+    let mut preemptions = 0;
+
+    while remaining > 0 {
+        // Pick the job with the highest index.
+        let mut best_job = None;
+        let mut best_index = f64::NEG_INFINITY;
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            let idx = gittins_service_index(
+                jobs[i].dist.as_ref(),
+                jobs[i].weight,
+                attained[i],
+                config.min_quantum,
+                config.index_horizon,
+                config.grid_points,
+            );
+            if idx > best_index {
+                best_index = idx;
+                best_job = Some(i);
+            }
+        }
+        let i = best_job.expect("remaining > 0 implies an unfinished job exists");
+        if let Some(prev) = last_served {
+            if prev != i && !done[prev] {
+                preemptions += 1;
+            }
+        }
+        last_served = Some(i);
+
+        let needed = true_sizes[i] - attained[i];
+        if needed <= config.review_period {
+            clock += needed.max(0.0);
+            attained[i] = true_sizes[i];
+            done[i] = true;
+            completion[i] = clock;
+            remaining -= 1;
+        } else {
+            clock += config.review_period;
+            attained[i] += config.review_period;
+        }
+    }
+
+    let weighted_flowtime = (0..n).map(|i| jobs[i].weight * completion[i]).sum();
+    let makespan = completion.iter().cloned().fold(0.0, f64::max);
+    PreemptiveOutcome { weighted_flowtime, makespan, preemptions }
+}
+
+/// Simulate one realisation of the *nonpreemptive* WSEPT list on the same
+/// sampled processing times, for paired comparisons (common random numbers
+/// are achieved by the caller reusing the RNG stream).
+pub fn simulate_wsept_nonpreemptive(
+    instance: &BatchInstance,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    let order = crate::policies::wsept_order(instance);
+    crate::single_machine::sample_weighted_flowtime(instance, &order, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use ss_distributions::{dyn_dist, Deterministic, Exponential, HyperExponential};
+
+    #[test]
+    fn exponential_index_is_w_lambda() {
+        let d = Exponential::new(2.0);
+        for a in [0.0, 0.7, 3.0] {
+            let g = gittins_service_index(&d, 1.5, a, 0.01, 20.0, 32);
+            assert!((g - 3.0).abs() < 0.05, "index {g} at attained {a}");
+        }
+    }
+
+    #[test]
+    fn dhr_index_decreases_with_attained_service() {
+        let d = HyperExponential::with_mean_scv(1.0, 8.0);
+        let g0 = gittins_service_index(&d, 1.0, 0.0, 0.01, 40.0, 40);
+        let g2 = gittins_service_index(&d, 1.0, 2.0, 0.01, 40.0, 40);
+        assert!(g0 > g2, "DHR index should fall: {g0} -> {g2}");
+    }
+
+    #[test]
+    fn deterministic_jobs_schedule_without_preemption_waste() {
+        let inst = BatchInstance::builder()
+            .job(1.0, dyn_dist(Deterministic::new(1.0)))
+            .job(1.0, dyn_dist(Deterministic::new(2.0)))
+            .build();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = simulate_gittins_preemptive(&inst, &PreemptiveConfig::default(), &mut rng);
+        // Makespan is the total work regardless of policy.
+        assert!((out.makespan - 3.0).abs() < 1e-9);
+        // The short job should finish first: 1*1 + 1*3 = 4.
+        assert!((out.weighted_flowtime - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preemptive_matches_wsept_for_exponential_jobs() {
+        // Memorylessness makes preemption worthless: the two estimates agree
+        // within Monte-Carlo noise (E2, exponential row).
+        let inst = BatchInstance::builder()
+            .job(1.0, dyn_dist(Exponential::with_mean(1.0)))
+            .job(2.0, dyn_dist(Exponential::with_mean(0.5)))
+            .job(1.0, dyn_dist(Exponential::with_mean(2.0)))
+            .build();
+        let reps = 1500;
+        let config = PreemptiveConfig { review_period: 0.2, min_quantum: 0.2, index_horizon: 20.0, grid_points: 8 };
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut pre = 0.0;
+        let mut non = 0.0;
+        for _ in 0..reps {
+            pre += simulate_gittins_preemptive(&inst, &config, &mut rng).weighted_flowtime;
+            non += simulate_wsept_nonpreemptive(&inst, &mut rng);
+        }
+        pre /= reps as f64;
+        non /= reps as f64;
+        let rel = (pre - non).abs() / non;
+        assert!(rel < 0.08, "preemptive {pre} vs WSEPT {non} (rel diff {rel})");
+    }
+
+    #[test]
+    fn preemption_helps_for_dhr_jobs() {
+        // Strongly DHR jobs: abandoning a job that failed to finish quickly
+        // is valuable, so the Gittins preemptive policy beats WSEPT.
+        let inst = BatchInstance::builder()
+            .job(1.0, dyn_dist(HyperExponential::with_mean_scv(1.0, 16.0)))
+            .job(1.0, dyn_dist(HyperExponential::with_mean_scv(1.0, 16.0)))
+            .job(1.0, dyn_dist(HyperExponential::with_mean_scv(1.0, 16.0)))
+            .job(1.0, dyn_dist(HyperExponential::with_mean_scv(1.0, 16.0)))
+            .build();
+        let reps = 1500;
+        let config = PreemptiveConfig { review_period: 0.25, min_quantum: 0.25, index_horizon: 30.0, grid_points: 8 };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(21);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(21);
+        let mut pre = 0.0;
+        let mut non = 0.0;
+        for _ in 0..reps {
+            pre += simulate_gittins_preemptive(&inst, &config, &mut rng_a).weighted_flowtime;
+            non += simulate_wsept_nonpreemptive(&inst, &mut rng_b);
+        }
+        pre /= reps as f64;
+        non /= reps as f64;
+        assert!(
+            pre < non * 0.97,
+            "expected a clear preemption gain: preemptive {pre} vs WSEPT {non}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Asymptotic optimality of WSEPT on parallel machines (Weiss 1992).
+//!
+//! The survey quotes the "turnpike" result: the *additive* suboptimality gap
+//! of the WSEPT list policy on `m` identical machines is bounded by a
+//! constant that does not depend on the number of jobs, so the *relative*
+//! gap vanishes as `n → ∞`.  Experiment E6 reproduces the shape of that
+//! claim by sweeping `n` and reporting
+//!
+//! * the simulated WSEPT expected weighted flowtime on `m` machines,
+//! * a **valid lower bound** on the optimal value,
+//! * the additive and relative gaps between the two.
+//!
+//! ### The lower bound
+//!
+//! Any (nonpreemptive, nonanticipative) schedule on `m` unit-speed machines
+//! can be emulated in real time on a single machine of speed `m` by
+//! processor sharing, with identical completion times; the speed-`m`
+//! single-machine *preemptive* optimum is therefore a lower bound on
+//! `OPT_m`.  For **exponential** processing times the preemptive
+//! single-machine optimum is attained by the (nonpreemptive) WSEPT list —
+//! the Gittins/Sevcik index of an exponential job is the constant
+//! `w_i λ_i` — so the bound has the closed form
+//!
+//! ```text
+//! OPT_m  >=  WSEPT_1(means) / m
+//! ```
+//!
+//! where `WSEPT_1(means)` is the exact single-machine WSEPT value computed
+//! from the means.  The turnpike sweep therefore uses exponential
+//! processing times (the same regime in which the classical parallel-machine
+//! index results hold); the reported gap still over-states the true
+//! suboptimality of WSEPT because the relaxation itself is loose by a
+//! `O(n)` term, but its *relative* version vanishing is exactly the Weiss
+//! shape.
+//!
+//! A second, pathwise Eastman–Even–Isaacs bound ([`eei_lower_bound`]) is
+//! kept for per-realisation diagnostics (it bounds the clairvoyant optimum
+//! and is used by the property tests).
+
+use crate::parallel::{evaluate_list_policy, ParallelMetric};
+use crate::policies::wsept_order;
+use crate::single_machine::expected_weighted_flowtime;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ss_core::instance::{BatchInstance, InstanceGenerator};
+
+/// One row of the turnpike sweep.
+#[derive(Debug, Clone)]
+pub struct TurnpikePoint {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub machines: usize,
+    /// Simulated WSEPT expected weighted flowtime.
+    pub wsept_value: f64,
+    /// 95% CI half-width of the simulated WSEPT value.
+    pub wsept_ci95: f64,
+    /// Valid lower bound on the optimal expected weighted flowtime
+    /// (speed-`m` single-machine relaxation).
+    pub lower_bound: f64,
+    /// `wsept_value - lower_bound`.
+    pub additive_gap: f64,
+    /// `additive_gap / lower_bound`.
+    pub relative_gap: f64,
+}
+
+/// The speed-`m` single-machine relaxation bound `WSEPT_1(means) / m`
+/// (valid lower bound on `OPT_m` for exponential processing times; see the
+/// module documentation).
+pub fn fast_single_machine_bound(instance: &BatchInstance, machines: usize) -> f64 {
+    let order = wsept_order(instance);
+    expected_weighted_flowtime(instance, &order) / machines as f64
+}
+
+/// The deterministic Eastman–Even–Isaacs lower bound for realised
+/// processing times `durations` with weights `weights` on `machines`
+/// machines.  Bounds the *clairvoyant* optimum of that realisation.
+pub fn eei_lower_bound(durations: &[f64], weights: &[f64], machines: usize) -> f64 {
+    assert_eq!(durations.len(), weights.len());
+    let m = machines as f64;
+    // WSPT order on the realised times.
+    let mut order: Vec<usize> = (0..durations.len()).collect();
+    order.sort_by(|&a, &b| {
+        (weights[b] / durations[b].max(1e-300))
+            .partial_cmp(&(weights[a] / durations[a].max(1e-300)))
+            .unwrap()
+    });
+    let mut prefix = 0.0;
+    let mut wspt1 = 0.0;
+    for &j in &order {
+        prefix += durations[j];
+        wspt1 += weights[j] * prefix;
+    }
+    let wp: f64 = durations.iter().zip(weights).map(|(p, w)| w * p).sum();
+    wspt1 / m + (m - 1.0) / (2.0 * m) * wp
+}
+
+/// Run the turnpike sweep: for each `n` in `job_counts`, generate an
+/// exponential-job instance (reproducibly from `seed`), simulate WSEPT on
+/// `machines` machines and compare with the relaxation lower bound.
+pub fn turnpike_sweep(
+    generator: &InstanceGenerator,
+    job_counts: &[usize],
+    machines: usize,
+    replications: usize,
+    seed: u64,
+) -> Vec<TurnpikePoint> {
+    job_counts
+        .iter()
+        .map(|&n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E37_79B9));
+            let instance = generator.generate(n, &mut rng);
+            let order = wsept_order(&instance);
+            let summary = evaluate_list_policy(
+                &instance,
+                &order,
+                machines,
+                ParallelMetric::WeightedFlowtime,
+                replications,
+                seed,
+            );
+            let lower_bound = fast_single_machine_bound(&instance, machines);
+            let additive_gap = summary.mean - lower_bound;
+            TurnpikePoint {
+                n,
+                machines,
+                wsept_value: summary.mean,
+                wsept_ci95: summary.ci95,
+                lower_bound,
+                additive_gap,
+                relative_gap: additive_gap / lower_bound,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::instance::InstanceFamily;
+    use ss_distributions::dyn_dist;
+    use ss_distributions::{Deterministic, Exponential};
+
+    #[test]
+    fn eei_bound_is_tight_for_one_machine() {
+        let durations = [2.0, 1.0, 4.0];
+        let weights = [1.0, 3.0, 2.0];
+        let lb = eei_lower_bound(&durations, &weights, 1);
+        // On one machine the EEI bound reduces to the WSPT optimum itself.
+        let direct = |order: &[usize]| {
+            let mut prefix = 0.0;
+            let mut v = 0.0;
+            for &j in order {
+                prefix += durations[j];
+                v += weights[j] * prefix;
+            }
+            v
+        };
+        let best = direct(&[1, 2, 0]).min(direct(&[1, 0, 2]));
+        assert!((lb - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eei_bound_below_deterministic_schedules() {
+        let durations = [2.0, 1.0, 3.0, 1.5];
+        let weights = [1.0, 2.0, 1.5, 0.5];
+        let lb = eei_lower_bound(&durations, &weights, 2);
+        // Evaluate the WSPT list schedule on 2 machines for this realisation.
+        let inst = BatchInstance::builder()
+            .job(1.0, dyn_dist(Deterministic::new(2.0)))
+            .job(2.0, dyn_dist(Deterministic::new(1.0)))
+            .job(1.5, dyn_dist(Deterministic::new(3.0)))
+            .job(0.5, dyn_dist(Deterministic::new(1.5)))
+            .build();
+        let order = wsept_order(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = crate::parallel::simulate_list_schedule(&inst, &order, 2, &mut rng);
+        assert!(lb <= out.weighted_flowtime + 1e-9, "LB {lb} vs schedule {}", out.weighted_flowtime);
+    }
+
+    #[test]
+    fn fast_machine_bound_is_tight_for_one_machine() {
+        let inst = BatchInstance::builder()
+            .job(1.0, dyn_dist(Exponential::with_mean(1.0)))
+            .job(2.0, dyn_dist(Exponential::with_mean(2.0)))
+            .build();
+        let lb = fast_single_machine_bound(&inst, 1);
+        let exact = expected_weighted_flowtime(&inst, &wsept_order(&inst));
+        assert!((lb - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxation_bound_below_simulated_wsept_exponential() {
+        let gen = InstanceGenerator::with_family(InstanceFamily::Exponential);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let inst = gen.generate(12, &mut rng);
+        let lb = fast_single_machine_bound(&inst, 3);
+        let sim = evaluate_list_policy(
+            &inst,
+            &wsept_order(&inst),
+            3,
+            ParallelMetric::WeightedFlowtime,
+            4000,
+            1,
+        );
+        assert!(lb <= sim.mean + sim.ci95, "LB {lb} must lie below WSEPT {}", sim.mean);
+    }
+
+    #[test]
+    fn relative_gap_shrinks_with_n() {
+        // The headline shape of E6: the relative gap at n = 160 is well below
+        // the gap at n = 10.
+        let gen = InstanceGenerator::with_family(InstanceFamily::Exponential);
+        let points = turnpike_sweep(&gen, &[10, 160], 4, 800, 2024);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].relative_gap > 0.0, "small-n gap should be positive");
+        assert!(
+            points[1].relative_gap < points[0].relative_gap * 0.6,
+            "relative gap should shrink: {} -> {}",
+            points[0].relative_gap,
+            points[1].relative_gap
+        );
+    }
+}

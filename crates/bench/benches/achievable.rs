@@ -1,0 +1,92 @@
+//! Benchmarks of the achievable-region machinery (experiment E17) and the
+//! marginal-productivity-index computation (experiment E19): the region LP
+//! with its `2^N` subset constraints, the adaptive-greedy index algorithm on
+//! Klimov networks, and the MPI adaptive greedy against the Whittle
+//! bisection it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bandits::instances::maintenance_project;
+use ss_bandits::mpi::marginal_productivity_indices;
+use ss_bandits::restless::whittle_indices;
+use ss_bench::workloads::mg1_three_classes;
+use ss_core::job::JobClass;
+use ss_distributions::{dyn_dist, Erlang, Exponential};
+use ss_queueing::achievable_region::{klimov_via_adaptive_greedy, region_lp, vertex_performance};
+use ss_queueing::klimov::KlimovNetwork;
+
+/// A stable `n`-class M/G/1 instance with heterogeneous services.
+fn classes(n: usize) -> Vec<JobClass> {
+    (0..n)
+        .map(|j| {
+            let mean = 0.5 + 0.15 * j as f64;
+            let dist = if j % 2 == 0 {
+                dyn_dist(Exponential::with_mean(mean))
+            } else {
+                dyn_dist(Erlang::with_mean(2, mean))
+            };
+            JobClass::new(j, 0.6 / (n as f64 * mean), dist, 1.0 + j as f64)
+        })
+        .collect()
+}
+
+/// A ring-feedback Klimov network with `n` classes.
+fn ring_network(n: usize) -> KlimovNetwork {
+    let arrivals = vec![0.3 / n as f64; n];
+    let services = (0..n).map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64))).collect();
+    let costs = (1..=n).map(|i| i as f64).collect();
+    let mut routing = vec![vec![0.0; n]; n];
+    for (i, row) in routing.iter_mut().enumerate() {
+        row[(i + 1) % n] = 0.4;
+    }
+    KlimovNetwork::new(arrivals, services, costs, routing)
+}
+
+fn bench_achievable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("achievable_region");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Region LP: constraint count doubles per extra class.
+    for &n in &[3usize, 5, 7, 9] {
+        let cls = classes(n);
+        group.bench_with_input(BenchmarkId::new("region_lp", n), &n, |b, _| {
+            b.iter(|| region_lp(&cls))
+        });
+    }
+
+    // Vertex evaluation (nested subset differences) for the 3-class E11 instance.
+    let cls3 = mg1_three_classes(1.0);
+    group.bench_function("vertex_performance_3_classes", |b| {
+        b.iter(|| vertex_performance(&cls3, &[1, 2, 0]))
+    });
+
+    // Adaptive-greedy Klimov indices through the generic framework.
+    for &n in &[3usize, 6, 10] {
+        let net = ring_network(n);
+        group.bench_with_input(BenchmarkId::new("adaptive_greedy_klimov", n), &n, |b, _| {
+            b.iter(|| klimov_via_adaptive_greedy(&net))
+        });
+    }
+    group.finish();
+
+    // MPI adaptive greedy vs Whittle bisection: the ablation the new module
+    // enables — same indices, different algorithm and cost profile.
+    let mut group = c.benchmark_group("mpi_vs_whittle");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[4usize, 6, 8] {
+        let project = maintenance_project(k, 0.35, 0.4, 0.95);
+        group.bench_with_input(BenchmarkId::new("mpi_adaptive_greedy", k), &k, |b, _| {
+            b.iter(|| marginal_productivity_indices(&project, 1e-9))
+        });
+        group.bench_with_input(BenchmarkId::new("whittle_bisection", k), &k, |b, _| {
+            b.iter(|| whittle_indices(&project))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_achievable);
+criterion_main!(benches);

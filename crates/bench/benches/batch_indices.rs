@@ -1,0 +1,45 @@
+//! Benchmarks of batch-scheduling policy evaluation: the closed-form WSEPT
+//! value, the exhaustive optimum, and the exact exponential parallel-machine
+//! DP (experiments E1/E3/E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_batch::exact_exp::{list_policy_flowtime, optimal_flowtime, sept_order_exp, ExpParallelInstance};
+use ss_batch::policies::wsept_order;
+use ss_batch::single_machine::{exhaustive_optimal_order, expected_weighted_flowtime};
+use ss_bench::workloads::batch_instance;
+use ss_core::instance::InstanceFamily;
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_indices");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[50usize, 200, 1000] {
+        let inst = batch_instance(n, InstanceFamily::Mixed, 5000 + n as u64);
+        group.bench_with_input(BenchmarkId::new("wsept_closed_form", n), &n, |b, _| {
+            b.iter(|| expected_weighted_flowtime(&inst, &wsept_order(&inst)))
+        });
+    }
+    for &n in &[6usize, 8] {
+        let inst = batch_instance(n, InstanceFamily::Mixed, 6000 + n as u64);
+        group.bench_with_input(BenchmarkId::new("exhaustive_optimum", n), &n, |b, _| {
+            b.iter(|| exhaustive_optimal_order(&inst))
+        });
+    }
+    for &n in &[8usize, 12, 16] {
+        let rates: Vec<f64> = (1..=n).map(|i| 0.3 + 0.2 * i as f64).collect();
+        let exp = ExpParallelInstance::unweighted(rates);
+        group.bench_with_input(BenchmarkId::new("exp_dp_sept_value", n), &n, |b, _| {
+            b.iter(|| list_policy_flowtime(&exp, &sept_order_exp(&exp), 3))
+        });
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("exp_dp_optimal", n), &n, |b, _| {
+                b.iter(|| optimal_flowtime(&exp, 3))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the branching-bandit index computation and extinction
+//! simulator (experiment E18) and the setup-threshold simulator and
+//! square-root rule (experiment E20).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ss_bandits::branching::offspring::OffspringDist;
+use ss_bandits::branching::{simulate_branching, BranchingBandit};
+use ss_bench::workloads::{branching_three_class, setup_two_classes};
+use ss_distributions::{dyn_dist, Deterministic, Exponential};
+use ss_queueing::setups::{simulate_setup_policy, sqrt_rule_thresholds, SetupPolicy};
+
+/// A subcritical chain-feedback branching bandit with `n` classes.
+fn chain_bandit(n: usize) -> BranchingBandit {
+    let services = (0..n).map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64))).collect();
+    let costs = (1..=n).map(|i| i as f64).collect();
+    let offspring = (0..n)
+        .map(|i| {
+            if i + 1 < n {
+                OffspringDist::feedback(n, i + 1, 0.45)
+            } else {
+                OffspringDist::none(n)
+            }
+        })
+        .collect();
+    BranchingBandit::new(services, costs, offspring)
+}
+
+fn bench_branching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branching_bandit");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[3usize, 6, 10, 16] {
+        let bandit = chain_bandit(n);
+        group.bench_with_input(BenchmarkId::new("indices", n), &n, |b, _| {
+            b.iter(|| bandit.indices())
+        });
+    }
+    let bandit = branching_three_class();
+    let order = bandit.index_order();
+    group.bench_function("simulate_1000_extinctions", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut total = 0.0;
+            for _ in 0..1000 {
+                total +=
+                    simulate_branching(&bandit, &[2, 2, 1], &order, 1_000_000, &mut rng).total_holding_cost;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_setups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_thresholds");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let classes = setup_two_classes();
+    group.bench_function("sqrt_rule_thresholds", |b| {
+        b.iter(|| sqrt_rule_thresholds(&classes, &[0.6, 0.6]))
+    });
+    let setup: Vec<_> = (0..2).map(|_| dyn_dist(Deterministic::new(0.6))).collect();
+    let thresholds = sqrt_rule_thresholds(&classes, &[0.6, 0.6]);
+    for (label, policy) in [
+        ("threshold", SetupPolicy::Threshold { thresholds: thresholds.clone() }),
+        ("exhaustive", SetupPolicy::Exhaustive),
+        ("cmu_every_job", SetupPolicy::CmuEveryJob),
+    ] {
+        group.bench_function(format!("simulate_10k_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                simulate_setup_policy(&classes, &setup, &policy, 10_000.0, 100.0, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branching, bench_setups);
+criterion_main!(benches);

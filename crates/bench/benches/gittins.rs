@@ -1,0 +1,31 @@
+//! Benchmarks of the three Gittins index algorithms as the state count
+//! grows (supports the complexity discussion of experiment E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bandits::gittins::{gittins_indices_calibration, gittins_indices_restart, gittins_indices_vwb};
+use ss_bench::workloads::bandit_project;
+
+fn bench_gittins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gittins_index");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[5usize, 10, 20, 40] {
+        let project = bandit_project(k, 9000 + k as u64);
+        group.bench_with_input(BenchmarkId::new("vwb", k), &k, |b, _| {
+            b.iter(|| gittins_indices_vwb(&project, 0.9))
+        });
+        group.bench_with_input(BenchmarkId::new("restart", k), &k, |b, _| {
+            b.iter(|| gittins_indices_restart(&project, 0.9))
+        });
+        if k <= 20 {
+            group.bench_with_input(BenchmarkId::new("calibration", k), &k, |b, _| {
+                b.iter(|| gittins_indices_calibration(&project, 0.9))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gittins);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks of Klimov's index algorithm and the feedback-queue simulator
+//! (experiment E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ss_bench::workloads::klimov_three_class;
+use ss_distributions::{dyn_dist, Exponential};
+use ss_queueing::klimov::{klimov_indices, simulate_klimov, KlimovNetwork};
+
+fn random_network(n: usize) -> KlimovNetwork {
+    // A ring-feedback network with n classes and load well below one.
+    let arrivals = vec![0.3 / n as f64; n];
+    let services = (0..n).map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64))).collect();
+    let costs = (1..=n).map(|i| i as f64).collect();
+    let mut routing = vec![vec![0.0; n]; n];
+    for (i, row) in routing.iter_mut().enumerate() {
+        row[(i + 1) % n] = 0.4;
+    }
+    KlimovNetwork::new(arrivals, services, costs, routing)
+}
+
+fn bench_klimov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("klimov");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[3usize, 6, 10, 16] {
+        let net = random_network(n);
+        group.bench_with_input(BenchmarkId::new("indices", n), &n, |b, _| {
+            b.iter(|| klimov_indices(&net))
+        });
+    }
+    let net = klimov_three_class();
+    group.bench_function("simulate_10k_time_units", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            simulate_klimov(&net, &[1, 2, 0], 10_000.0, 100.0, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_klimov);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the MDP solvers (value iteration vs policy iteration) on
+//! random dense MDPs — the "curse of dimensionality" baseline the survey
+//! contrasts index policies against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ss_mdp::mdp::{Mdp, MdpBuilder};
+use ss_mdp::policy_iteration::policy_iteration;
+use ss_mdp::value_iteration::{value_iteration, ValueIterationOptions};
+
+fn random_mdp(states: usize, actions: usize, seed: u64) -> Mdp {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = MdpBuilder::new(states);
+    for s in 0..states {
+        for _ in 0..actions {
+            // Sparse transitions to 3 random states.
+            let mut probs = [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()];
+            let total: f64 = probs.iter().sum();
+            for p in &mut probs {
+                *p /= total;
+            }
+            let transitions: Vec<(usize, f64)> = probs
+                .iter()
+                .map(|&p| (rng.gen_range(0..states), p))
+                .collect();
+            // Merge duplicate targets by renormalising through the builder's
+            // tolerance (duplicates are allowed because probabilities sum to 1).
+            b.add_action(s, rng.gen_range(0.0..1.0), transitions);
+        }
+    }
+    b.build()
+}
+
+fn bench_mdp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp_solvers");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &states in &[50usize, 200, 800] {
+        let mdp = random_mdp(states, 4, 11);
+        group.bench_with_input(BenchmarkId::new("value_iteration", states), &mdp, |b, m| {
+            b.iter(|| {
+                value_iteration(
+                    m,
+                    &ValueIterationOptions { discount: 0.9, tolerance: 1e-8, max_iterations: 100_000 },
+                )
+            })
+        });
+        if states <= 200 {
+            group.bench_with_input(BenchmarkId::new("policy_iteration", states), &mdp, |b, m| {
+                b.iter(|| policy_iteration(m, 0.9))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mdp);
+criterion_main!(benches);

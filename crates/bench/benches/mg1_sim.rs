@@ -1,0 +1,41 @@
+//! Benchmarks of the multiclass M/G/1 simulator under the three
+//! disciplines (throughput of the core event loop; experiment E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ss_bench::workloads::mg1_three_classes;
+use ss_queueing::cmu::cmu_order;
+use ss_queueing::mg1::{simulate_mg1, Discipline, Mg1Config};
+
+fn bench_mg1(c: &mut Criterion) {
+    let classes = mg1_three_classes(1.0);
+    let order = cmu_order(&classes);
+    let mut group = c.benchmark_group("mg1_sim_10k_time_units");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let disciplines: Vec<(&str, Discipline)> = vec![
+        ("fifo", Discipline::Fifo),
+        ("nonpreemptive_cmu", Discipline::NonpreemptivePriority(order.clone())),
+        ("preemptive_cmu", Discipline::PreemptivePriority(order)),
+    ];
+    for (name, discipline) in disciplines {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &discipline, |b, d| {
+            b.iter(|| {
+                let config = Mg1Config {
+                    classes: classes.clone(),
+                    discipline: d.clone(),
+                    horizon: 10_000.0,
+                    warmup: 100.0,
+                };
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                simulate_mg1(&config, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mg1);
+criterion_main!(benches);

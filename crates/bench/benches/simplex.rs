@@ -1,0 +1,45 @@
+//! Benchmarks of the dense two-phase simplex solver on randomly generated
+//! feasible LPs of growing size (substrate of the Whittle/achievable-region
+//! relaxations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ss_lp::{LinearProgram, Relation};
+
+fn random_feasible_lp(vars: usize, constraints: usize, seed: u64) -> LinearProgram {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let objective: Vec<f64> = (0..vars).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut lp = LinearProgram::minimize(objective);
+    // `a x <= b` with nonnegative a and positive b is always feasible at 0.
+    for _ in 0..constraints {
+        let coeffs: Vec<f64> = (0..vars).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let rhs = rng.gen_range(1.0..5.0);
+        lp.add_constraint(coeffs, Relation::Le, rhs);
+    }
+    // A few >= rows to force Phase I to do real work.
+    for _ in 0..(constraints / 4).max(1) {
+        let coeffs: Vec<f64> = (0..vars).map(|_| rng.gen_range(0.0..1.0)).collect();
+        lp.add_constraint(coeffs, Relation::Ge, 0.5);
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(vars, cons) in &[(10usize, 8usize), (30, 20), (60, 40), (120, 80)] {
+        let lp = random_feasible_lp(vars, cons, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}x{cons}")),
+            &lp,
+            |b, lp| b.iter(|| lp.solve().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

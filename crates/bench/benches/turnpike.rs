@@ -1,0 +1,29 @@
+//! Benchmark of a single turnpike sweep point (experiment E6): WSEPT list
+//! simulation on parallel machines as the job count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_batch::parallel::{evaluate_list_policy, ParallelMetric};
+use ss_batch::policies::wsept_order;
+use ss_bench::workloads::batch_instance;
+use ss_core::instance::InstanceFamily;
+
+fn bench_turnpike(c: &mut Criterion) {
+    let mut group = c.benchmark_group("turnpike_point");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        let inst = batch_instance(n, InstanceFamily::Exponential, 7000 + n as u64);
+        let order = wsept_order(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                evaluate_list_policy(&inst, &order, 4, ParallelMetric::WeightedFlowtime, 200, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_turnpike);
+criterion_main!(benches);

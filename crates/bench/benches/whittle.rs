@@ -1,0 +1,33 @@
+//! Benchmarks of Whittle-index computation and the LP relaxation bound for
+//! restless bandits (experiment E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bandits::instances::maintenance_project;
+use ss_bandits::restless::{relaxation_bound_identical, whittle_indices, whittle_relaxation_bound};
+
+fn bench_whittle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whittle");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[4usize, 6, 8] {
+        let project = maintenance_project(k, 0.35, 0.4, 0.95);
+        group.bench_with_input(BenchmarkId::new("indices", k), &k, |b, _| {
+            b.iter(|| whittle_indices(&project))
+        });
+        group.bench_with_input(BenchmarkId::new("relaxation_identical", k), &k, |b, _| {
+            b.iter(|| relaxation_bound_identical(&project, 0.3))
+        });
+    }
+    let project = maintenance_project(5, 0.35, 0.4, 0.95);
+    for &n in &[4usize, 8, 16] {
+        let projects: Vec<_> = (0..n).map(|_| project.clone()).collect();
+        group.bench_with_input(BenchmarkId::new("relaxation_lp_full", n), &n, |b, _| {
+            b.iter(|| whittle_relaxation_bound(&projects, (n / 3).max(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_whittle);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment harness binary.
+//!
+//! ```text
+//! cargo run --release -p ss-bench --bin experiments            # run everything
+//! cargo run --release -p ss-bench --bin experiments -- E7 E10  # run a subset
+//! cargo run --release -p ss-bench --bin experiments -- --list  # list experiments
+//! ```
+
+use ss_bench::experiments::all_experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for e in &experiments {
+            println!("{:<4} {}", e.id, e.description);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        experiments
+            .iter()
+            .filter(|e| args.iter().any(|a| a.eq_ignore_ascii_case(e.id)))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiment matches {args:?}; use --list to see the available ids");
+        std::process::exit(1);
+    }
+
+    for e in selected {
+        let start = Instant::now();
+        println!("\n================================================================");
+        println!("{} — {}", e.id, e.description);
+        println!("================================================================\n");
+        let report = (e.run)();
+        println!("{report}");
+        println!("[{} finished in {:.1?}]", e.id, start.elapsed());
+    }
+}

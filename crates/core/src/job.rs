@@ -1,0 +1,129 @@
+//! Jobs and job classes.
+
+use ss_distributions::DynDist;
+use std::fmt;
+
+/// A single stochastic job: a holding-cost weight and a processing-time
+/// distribution.  The distribution is known to the scheduler (the standard
+/// informational assumption of the survey); the realised processing time is
+/// not.
+#[derive(Clone)]
+pub struct Job {
+    /// Identifier, unique within an instance.
+    pub id: usize,
+    /// Holding-cost rate `w_i >= 0` per unit time in the system.
+    pub weight: f64,
+    /// Processing-time distribution.
+    pub dist: DynDist,
+}
+
+impl Job {
+    /// Create a job.
+    pub fn new(id: usize, weight: f64, dist: DynDist) -> Self {
+        assert!(weight >= 0.0 && weight.is_finite(), "weight must be nonnegative");
+        assert!(dist.mean() > 0.0, "processing time must have positive mean");
+        Self { id, weight, dist }
+    }
+
+    /// Expected processing time `E[P_i]`.
+    pub fn mean_processing(&self) -> f64 {
+        self.dist.mean()
+    }
+
+    /// The Smith / WSEPT priority index `w_i / E[P_i]` (higher = serve first).
+    pub fn wsept_index(&self) -> f64 {
+        self.weight / self.dist.mean()
+    }
+}
+
+impl fmt::Debug for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("weight", &self.weight)
+            .field("dist", &self.dist.describe())
+            .finish()
+    }
+}
+
+/// A job class for queueing models: Poisson arrivals, common service-time
+/// distribution and a linear holding-cost rate.
+#[derive(Clone)]
+pub struct JobClass {
+    /// Class identifier.
+    pub id: usize,
+    /// Poisson arrival rate `alpha_j`.
+    pub arrival_rate: f64,
+    /// Service-time distribution with mean `1/mu_j`.
+    pub service: DynDist,
+    /// Holding-cost rate `c_j`.
+    pub holding_cost: f64,
+}
+
+impl JobClass {
+    /// Create a job class.
+    pub fn new(id: usize, arrival_rate: f64, service: DynDist, holding_cost: f64) -> Self {
+        assert!(arrival_rate >= 0.0 && arrival_rate.is_finite());
+        assert!(holding_cost >= 0.0 && holding_cost.is_finite());
+        assert!(service.mean() > 0.0);
+        Self { id, arrival_rate, service, holding_cost }
+    }
+
+    /// Mean service time `1/mu_j`.
+    pub fn mean_service(&self) -> f64 {
+        self.service.mean()
+    }
+
+    /// Service rate `mu_j`.
+    pub fn service_rate(&self) -> f64 {
+        1.0 / self.service.mean()
+    }
+
+    /// Traffic intensity contribution `rho_j = alpha_j / mu_j`.
+    pub fn load(&self) -> f64 {
+        self.arrival_rate * self.service.mean()
+    }
+
+    /// The cµ index `c_j * mu_j` (higher = serve first).
+    pub fn cmu_index(&self) -> f64 {
+        self.holding_cost * self.service_rate()
+    }
+}
+
+impl fmt::Debug for JobClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobClass")
+            .field("id", &self.id)
+            .field("arrival_rate", &self.arrival_rate)
+            .field("service", &self.service.describe())
+            .field("holding_cost", &self.holding_cost)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_distributions::{dyn_dist, Exponential};
+
+    #[test]
+    fn job_indices() {
+        let j = Job::new(0, 3.0, dyn_dist(Exponential::with_mean(2.0)));
+        assert!((j.mean_processing() - 2.0).abs() < 1e-12);
+        assert!((j.wsept_index() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_class_load_and_cmu() {
+        let c = JobClass::new(0, 0.5, dyn_dist(Exponential::with_mean(0.8)), 2.0);
+        assert!((c.load() - 0.4).abs() < 1e-12);
+        assert!((c.cmu_index() - 2.5).abs() < 1e-12);
+        assert!((c.service_rate() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        let _ = Job::new(0, -1.0, dyn_dist(Exponential::new(1.0)));
+    }
+}

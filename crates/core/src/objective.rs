@@ -1,0 +1,85 @@
+//! Performance objectives.
+
+use std::fmt;
+
+/// The performance objectives that appear in the survey's three model
+/// families.  All are expectations; the batch objectives are over a finite
+/// horizon (until the batch completes), the queueing objective is a
+/// steady-state rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// `E[ sum_i w_i C_i ]` — expected weighted flowtime (§1, Rothkopf/Smith).
+    WeightedFlowtime,
+    /// `E[ sum_i C_i ]` — expected total flowtime (§1, SEPT results).
+    TotalFlowtime,
+    /// `E[ max_i C_i ]` — expected makespan (§1, LEPT results).
+    Makespan,
+    /// `E[ sum_t beta^t R_t ]` — expected total discounted reward (§2,
+    /// Gittins index).
+    DiscountedReward,
+    /// Long-run average reward (§2, Whittle's restless bandits).
+    AverageReward,
+    /// `sum_j c_j E[L_j]` — steady-state expected holding-cost rate (§3,
+    /// cµ-rule, Klimov).
+    HoldingCostRate,
+}
+
+impl Objective {
+    /// True if smaller values are better.
+    pub fn is_minimisation(&self) -> bool {
+        match self {
+            Objective::WeightedFlowtime
+            | Objective::TotalFlowtime
+            | Objective::Makespan
+            | Objective::HoldingCostRate => true,
+            Objective::DiscountedReward | Objective::AverageReward => false,
+        }
+    }
+
+    /// Sign multiplier such that "bigger is better" after multiplication.
+    pub fn orientation(&self) -> f64 {
+        if self.is_minimisation() {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Objective::WeightedFlowtime => "expected weighted flowtime",
+            Objective::TotalFlowtime => "expected total flowtime",
+            Objective::Makespan => "expected makespan",
+            Objective::DiscountedReward => "expected discounted reward",
+            Objective::AverageReward => "long-run average reward",
+            Objective::HoldingCostRate => "steady-state holding cost rate",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_matches_minimisation_flag() {
+        for obj in [
+            Objective::WeightedFlowtime,
+            Objective::TotalFlowtime,
+            Objective::Makespan,
+            Objective::DiscountedReward,
+            Objective::AverageReward,
+            Objective::HoldingCostRate,
+        ] {
+            if obj.is_minimisation() {
+                assert_eq!(obj.orientation(), -1.0);
+            } else {
+                assert_eq!(obj.orientation(), 1.0);
+            }
+            assert!(!obj.to_string().is_empty());
+        }
+    }
+}

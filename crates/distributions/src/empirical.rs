@@ -1,0 +1,130 @@
+//! Empirical distribution (bootstrap resampling from observed values).
+//!
+//! Useful to drive the simulators with trace-like workloads: the paper's
+//! motivating manufacturing / computer-communication systems would supply
+//! measured service times; here we substitute synthetic traces resampled
+//! from any generating process (see DESIGN.md, substitution table).
+
+use crate::traits::{DistKind, ServiceDistribution};
+use rand::{Rng, RngCore};
+
+/// Resamples uniformly from a fixed set of observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+    mean: f64,
+    var: f64,
+}
+
+impl Empirical {
+    /// Create from a nonempty set of nonnegative observations.
+    pub fn new(mut observations: Vec<f64>) -> Self {
+        assert!(!observations.is_empty(), "need at least one observation");
+        assert!(
+            observations.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "observations must be finite and nonnegative"
+        );
+        observations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = observations.len() as f64;
+        let mean = observations.iter().sum::<f64>() / n;
+        let var = observations.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Self { sorted: observations, mean, var }
+    }
+
+    /// Number of observations backing this distribution.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no observations (never happens after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0 <= q <= 1), by lower interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+}
+
+impl ServiceDistribution for Empirical {
+    fn kind(&self) -> DistKind {
+        DistKind::Empirical
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.var
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let i = rng.gen_range(0..self.sorted.len());
+        self.sorted[i]
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Fraction of observations <= x via binary search (partition_point).
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    fn pdf(&self, _x: f64) -> f64 {
+        0.0
+    }
+
+    fn support_upper(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    fn describe(&self) -> String {
+        format!("Empirical(n={}, mean={:.4})", self.sorted.len(), self.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn moments_match_observations() {
+        let d = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn cdf_counts_correctly() {
+        let d = Empirical::new(vec![1.0, 1.0, 2.0, 5.0]);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.5);
+        assert_eq!(d.cdf(3.0), 0.75);
+        assert_eq!(d.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = Empirical::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 100.0);
+        assert!((d.quantile(0.5) - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn samples_come_from_support() {
+        let obs = vec![2.0, 7.0, 9.0];
+        let d = Empirical::new(obs.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!(obs.contains(&x));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Hazard-rate monotonicity classification.
+//!
+//! The SEPT/LEPT optimality results quoted in §1 of the survey require the
+//! common processing-time distribution to have a nondecreasing (IHR) or
+//! nonincreasing (DHR) hazard-rate function.  This module classifies a
+//! distribution numerically on a grid, with a small tolerance so that the
+//! constant-hazard exponential is reported as [`HazardClass::Constant`].
+
+use crate::traits::ServiceDistribution;
+
+/// Result of the numeric hazard-monotonicity classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardClass {
+    /// Hazard rate is (numerically) constant — the exponential case, where
+    /// both the SEPT-flowtime and LEPT-makespan theorems apply.
+    Constant,
+    /// Increasing hazard rate (new-better-than-used): SEPT is optimal for
+    /// expected flowtime on identical parallel machines (Weber 1982).
+    Increasing,
+    /// Decreasing hazard rate: LEPT is optimal for expected makespan on
+    /// identical parallel machines (Weber 1982).
+    Decreasing,
+    /// Neither monotone direction holds on the inspected grid.
+    NonMonotone,
+}
+
+/// Classify the hazard rate of `dist` on `(0, horizon]` using `points`
+/// equally spaced evaluation points.
+///
+/// Grid points where the survival function has essentially vanished
+/// (`S(x) < 1e-9`) are skipped, because the hazard is numerically unstable
+/// there and irrelevant for scheduling decisions.
+pub fn classify(dist: &dyn ServiceDistribution, horizon: f64, points: usize) -> HazardClass {
+    assert!(horizon > 0.0 && points >= 3, "need a positive horizon and at least 3 points");
+    let rel_tol = 1e-6;
+    let mut increases = false;
+    let mut decreases = false;
+    let mut prev: Option<f64> = None;
+    for i in 1..=points {
+        let x = horizon * i as f64 / points as f64;
+        if dist.sf(x) < 1e-9 {
+            break;
+        }
+        let h = dist.hazard(x);
+        if !h.is_finite() {
+            break;
+        }
+        if let Some(p) = prev {
+            let scale = p.abs().max(h.abs()).max(1e-12);
+            if h > p + rel_tol * scale {
+                increases = true;
+            } else if h < p - rel_tol * scale {
+                decreases = true;
+            }
+        }
+        prev = Some(h);
+    }
+    match (increases, decreases) {
+        (false, false) => HazardClass::Constant,
+        (true, false) => HazardClass::Increasing,
+        (false, true) => HazardClass::Decreasing,
+        (true, true) => HazardClass::NonMonotone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Erlang, Exponential, HyperExponential, LogNormal, Uniform, Weibull};
+
+    #[test]
+    fn exponential_is_constant() {
+        let d = Exponential::new(2.0);
+        assert_eq!(classify(&d, 5.0, 100), HazardClass::Constant);
+    }
+
+    #[test]
+    fn erlang_and_uniform_are_ihr() {
+        assert_eq!(classify(&Erlang::new(3, 1.0), 10.0, 200), HazardClass::Increasing);
+        assert_eq!(classify(&Uniform::new(0.0, 2.0), 1.9, 100), HazardClass::Increasing);
+        assert_eq!(classify(&Weibull::new(2.0, 1.0), 4.0, 200), HazardClass::Increasing);
+    }
+
+    #[test]
+    fn hyperexponential_is_dhr() {
+        let d = HyperExponential::with_mean_scv(1.0, 4.0);
+        assert_eq!(classify(&d, 8.0, 200), HazardClass::Decreasing);
+        assert_eq!(classify(&Weibull::new(0.6, 1.0), 4.0, 200), HazardClass::Decreasing);
+    }
+
+    #[test]
+    fn lognormal_is_nonmonotone() {
+        // Log-normal hazards increase then decrease.
+        let d = LogNormal::with_mean_scv(1.0, 1.0);
+        assert_eq!(classify(&d, 20.0, 800), HazardClass::NonMonotone);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ss-lp — dense two-phase primal simplex
+//!
+//! A small, dependency-free linear-programming solver used as the substrate
+//! for the relaxation bounds that appear in §2 and §3 of the survey:
+//!
+//! * **Whittle's LP relaxation** of the restless bandit problem — the
+//!   requirement that exactly `m` projects be active at each time is relaxed
+//!   to an *average* activity constraint, yielding an LP over state-action
+//!   frequencies whose value upper-bounds (for rewards) every admissible
+//!   policy (`ss-bandits::restless`).
+//! * **Achievable-region relaxations** for multiclass parallel-server
+//!   scheduling (Glazebrook–Niño-Mora): a relaxed polymatroid LP gives a
+//!   lower bound on the attainable holding cost (`ss-queueing::parallel_servers`).
+//! * Cross-checks of Klimov's index algorithm against the LP formulation of
+//!   the performance region.
+//!
+//! The solver is a textbook dense tableau implementation: Phase I drives the
+//! artificial variables out of the basis, Phase II optimises the user
+//! objective; Dantzig pricing with an automatic switch to Bland's rule when
+//! cycling is suspected.  Problem sizes in this workspace are tiny by LP
+//! standards (at most a few thousand variables), so a dense tableau is the
+//! right trade-off of simplicity versus speed.
+//!
+//! ```
+//! use ss_lp::{LinearProgram, Relation};
+//!
+//! // max x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y >= 0
+//! // (encoded as minimisation of -x - y)
+//! let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+//! lp.add_constraint(vec![1.0, 2.0], Relation::Le, 4.0);
+//! lp.add_constraint(vec![3.0, 1.0], Relation::Le, 6.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective + 2.8).abs() < 1e-9); // optimum at (1.6, 1.2)
+//! ```
+
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use model::{LinearProgram, Relation};
+pub use solution::{LpError, LpSolution, LpStatus};

@@ -1,0 +1,410 @@
+//! Dense two-phase primal simplex on the full tableau.
+//!
+//! The implementation follows the standard textbook presentation:
+//!
+//! 1. every constraint is normalised to have a nonnegative right-hand side;
+//! 2. slack variables are added for `<=`, surplus variables for `>=`, and
+//!    artificial variables for `>=` and `=` rows;
+//! 3. Phase I minimises the sum of artificials; a positive optimum means the
+//!    original problem is infeasible;
+//! 4. Phase II minimises the user objective starting from the Phase-I basis.
+//!
+//! Pricing uses Dantzig's most-negative-reduced-cost rule and switches to
+//! Bland's smallest-index rule after a pivot budget proportional to the
+//! problem size has been consumed, which guarantees termination.
+
+use crate::model::{LinearProgram, Relation};
+use crate::solution::{LpError, LpSolution, LpStatus};
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// rows x cols coefficient matrix (last column is the RHS).
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length cols.
+    cost: Vec<f64>,
+    /// Current objective value (negated running total).
+    obj: f64,
+    /// Basis variable per row.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize, // number of structural+slack+artificial columns (excludes RHS)
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.a[row][col];
+        debug_assert!(pivot_val.abs() > EPS);
+        // Normalise pivot row.
+        for j in 0..=self.cols {
+            self.a[row][j] /= pivot_val;
+        }
+        // Eliminate from other rows.
+        for i in 0..self.rows {
+            if i != row {
+                let factor = self.a[i][col];
+                if factor.abs() > EPS {
+                    for j in 0..=self.cols {
+                        self.a[i][j] -= factor * self.a[row][j];
+                    }
+                }
+            }
+        }
+        // Eliminate from cost row.
+        let factor = self.cost[col];
+        if factor.abs() > EPS {
+            for j in 0..self.cols {
+                self.cost[j] -= factor * self.a[row][j];
+            }
+            self.obj -= factor * self.a[row][self.cols];
+        }
+        self.basis[row] = col;
+    }
+
+    /// Choose the entering column. Returns `None` at optimality.
+    fn entering(&self, bland: bool, allowed: &[bool]) -> Option<usize> {
+        if bland {
+            (0..self.cols).find(|&j| allowed[j] && self.cost[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..self.cols {
+                if allowed[j] && self.cost[j] < best_val {
+                    best_val = self.cost[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test. Returns `None` if the column is unbounded.
+    fn leaving(&self, col: usize, bland: bool) -> Option<usize> {
+        let mut best_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..self.rows {
+            let a = self.a[i][col];
+            if a > EPS {
+                let ratio = self.a[i][self.cols] / a;
+                let better = if bland {
+                    ratio < best_ratio - EPS
+                        || ((ratio - best_ratio).abs() <= EPS
+                            && best_row.map_or(true, |r| self.basis[i] < self.basis[r]))
+                } else {
+                    ratio < best_ratio - EPS
+                };
+                if better || best_row.is_none() && ratio.is_finite() && ratio < best_ratio {
+                    best_ratio = ratio;
+                    best_row = Some(i);
+                }
+            }
+        }
+        best_row
+    }
+
+    /// Run the simplex loop on the current cost row.
+    fn optimise(&mut self, allowed: &[bool], max_iters: usize) -> Result<usize, LpError> {
+        let mut iters = 0;
+        let bland_threshold = max_iters / 2;
+        loop {
+            let bland = iters >= bland_threshold;
+            let Some(col) = self.entering(bland, allowed) else {
+                return Ok(iters);
+            };
+            let Some(row) = self.leaving(col, bland) else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+            iters += 1;
+            if iters > max_iters {
+                return Err(LpError::IterationLimit);
+            }
+        }
+    }
+}
+
+/// Solve `lp` (always as a minimisation; the caller handles orientation).
+pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let n = lp.num_vars();
+    let m = lp.constraints.len();
+    // Work with a minimisation objective internally; `LinearProgram::solve`
+    // flips the reported value back for maximisation problems.
+    let objective: Vec<f64> = if lp.maximize {
+        lp.objective.iter().map(|c| -c).collect()
+    } else {
+        lp.objective.clone()
+    };
+
+    // Count auxiliary columns.
+    let mut num_slack = 0;
+    let mut num_art = 0;
+    for c in &lp.constraints {
+        // After normalising to b >= 0.
+        let flipped = c.rhs < 0.0;
+        let rel = effective_relation(c.relation, flipped);
+        match rel {
+            Relation::Le => num_slack += 1,
+            Relation::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Relation::Eq => num_art += 1,
+        }
+    }
+
+    let cols = n + num_slack + num_art;
+    let mut a = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::with_capacity(num_art);
+
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    for (i, c) in lp.constraints.iter().enumerate() {
+        let flipped = c.rhs < 0.0;
+        let sign = if flipped { -1.0 } else { 1.0 };
+        for j in 0..n {
+            a[i][j] = sign * c.coeffs[j];
+        }
+        a[i][cols] = sign * c.rhs;
+        let rel = effective_relation(c.relation, flipped);
+        match rel {
+            Relation::Le => {
+                a[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                a[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                a[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                a[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let max_iters = 200 * (cols + m + 10);
+    let mut total_iters = 0;
+
+    let mut tab = Tableau {
+        a,
+        cost: vec![0.0; cols],
+        obj: 0.0,
+        basis,
+        rows: m,
+        cols,
+    };
+
+    // ---- Phase I ----
+    if num_art > 0 {
+        // Cost = sum of artificials; express in terms of non-basic variables
+        // by subtracting the rows where artificials are basic.
+        let mut cost = vec![0.0; cols];
+        for &j in &art_cols {
+            cost[j] = 1.0;
+        }
+        let mut obj = 0.0;
+        for i in 0..m {
+            if art_cols.contains(&tab.basis[i]) {
+                for j in 0..cols {
+                    cost[j] -= tab.a[i][j];
+                }
+                obj -= tab.a[i][cols];
+            }
+        }
+        tab.cost = cost;
+        tab.obj = obj;
+        let allowed = vec![true; cols];
+        total_iters += tab.optimise(&allowed, max_iters)?;
+        let phase1_value = -tab.obj;
+        if phase1_value > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining artificial variables out of the basis.
+        for i in 0..m {
+            if art_cols.contains(&tab.basis[i]) {
+                // Find a non-artificial column with a nonzero entry to pivot in.
+                if let Some(j) = (0..n + num_slack).find(|&j| tab.a[i][j].abs() > EPS) {
+                    tab.pivot(i, j);
+                } // else: the row is redundant (all-zero); leave the artificial at value 0.
+            }
+        }
+    }
+
+    // ---- Phase II ----
+    let mut cost = vec![0.0; cols];
+    cost[..n].copy_from_slice(&objective);
+    let mut obj = 0.0;
+    // Express the cost row in terms of the current basis.
+    for i in 0..m {
+        let b = tab.basis[i];
+        if b < cols && cost[b].abs() > EPS {
+            let factor = cost[b];
+            for j in 0..cols {
+                cost[j] -= factor * tab.a[i][j];
+            }
+            obj -= factor * tab.a[i][cols];
+        }
+    }
+    tab.cost = cost;
+    tab.obj = obj;
+    // Artificial columns may not re-enter the basis.
+    let mut allowed = vec![true; cols];
+    for &j in &art_cols {
+        allowed[j] = false;
+    }
+    total_iters += tab.optimise(&allowed, max_iters)?;
+
+    // Extract the solution.
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        let b = tab.basis[i];
+        if b < n {
+            x[b] = tab.a[i][tab.cols];
+        }
+    }
+    let objective: f64 = objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Ok(LpSolution { status: LpStatus::Optimal, objective, x, iterations: total_iters })
+}
+
+/// Flip the relation when the row was multiplied by -1 to make the RHS
+/// nonnegative.
+fn effective_relation(rel: Relation, flipped: bool) -> Relation {
+    if !flipped {
+        return rel;
+    }
+    match rel {
+        Relation::Le => Relation::Ge,
+        Relation::Ge => Relation::Le,
+        Relation::Eq => Relation::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProgram, Relation};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_maximisation() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36.
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 36.0, 1e-8);
+        assert_close(sol.x[0], 2.0, 1e-8);
+        assert_close(sol.x[1], 6.0, 1e-8);
+    }
+
+    #[test]
+    fn minimisation_with_ge_constraints() {
+        // min 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36, 10x + 30y >= 90
+        // Classic diet problem; optimum x=3, y=2, cost 0.66.
+        let mut lp = LinearProgram::minimize(vec![0.12, 0.15]);
+        lp.add_constraint(vec![60.0, 60.0], Relation::Ge, 300.0);
+        lp.add_constraint(vec![12.0, 6.0], Relation::Ge, 36.0);
+        lp.add_constraint(vec![10.0, 30.0], Relation::Ge, 90.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.66, 1e-8);
+        assert_close(sol.x[0], 3.0, 1e-7);
+        assert_close(sol.x[1], 2.0, 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y + 3z s.t. x + y + z = 1, y + 2z >= 0.5
+        // Optimum: put as much as possible on x but need y + 2z >= 0.5:
+        // cheapest way to satisfy second constraint per unit is z (ratio 3/2) vs y (2)?
+        // With z = 0.25: cost contribution 0.75, x = 0.75 -> total 1.5.
+        // With y = 0.5: cost 1.0, x = 0.5 -> total 1.5. Both optimal; value 1.5.
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0, 3.0]);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Eq, 1.0);
+        lp.add_constraint(vec![0.0, 1.0, 2.0], Relation::Ge, 0.5);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.5, 1e-8);
+        let sum: f64 = sol.x.iter().sum();
+        assert_close(sum, 1.0, 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with only x >= 1: unbounded below.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.add_constraint(vec![1.0], Relation::Ge, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // x - y <= -1 with min x + y  => y >= x + 1, optimum (0, 1).
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, -1.0], Relation::Le, -1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.0, 1e-8);
+        assert_close(sol.x[1], 1.0, 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classically degenerate LP (Beale's example adapted): ensures the
+        // Bland fallback terminates.
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.add_constraint(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, -0.05, 1e-8);
+    }
+
+    #[test]
+    fn transportation_like_problem() {
+        // 2 sources (supply 20, 30), 3 sinks (demand 10, 25, 15).
+        // costs: [[2,3,1],[5,4,8]].  Optimal shipment: s1 sends 15 to d3 and
+        // 5 to d1, s2 sends 5 to d1 and 25 to d2, for a total cost of
+        // 15*1 + 5*2 + 5*5 + 25*4 = 150.
+        let costs = [2.0, 3.0, 1.0, 5.0, 4.0, 8.0];
+        let mut lp = LinearProgram::minimize(costs.to_vec());
+        // supply rows
+        lp.add_constraint(vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0], Relation::Le, 20.0);
+        lp.add_constraint(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0], Relation::Le, 30.0);
+        // demand rows
+        lp.add_constraint(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], Relation::Ge, 10.0);
+        lp.add_constraint(vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0], Relation::Ge, 25.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0], Relation::Ge, 15.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 150.0, 1e-7);
+        assert!(sol.x.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_handled() {
+        // x + y = 1 appears twice; still solvable.
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 1.0);
+        lp.add_constraint(vec![2.0, 2.0], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.0, 1e-8);
+        assert_close(sol.x[0], 1.0, 1e-8);
+    }
+}

@@ -1,0 +1,62 @@
+//! Solution and error types for the LP solver.
+
+use std::fmt;
+
+/// Terminal status of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below (for minimisation).
+    Unbounded,
+}
+
+/// Errors returned by [`crate::LinearProgram::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// Phase I ended with a positive artificial objective.
+    Infeasible,
+    /// Phase II detected an unbounded ray.
+    Unbounded,
+    /// The iteration limit was exceeded (should not happen with Bland's rule;
+    /// kept as a defensive guard).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Status (always [`LpStatus::Optimal`] when returned from `solve`).
+    pub status: LpStatus,
+    /// Optimal objective value (in the user's orientation).
+    pub objective: f64,
+    /// Optimal values of the decision variables.
+    pub x: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+    }
+}

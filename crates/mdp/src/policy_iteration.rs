@@ -1,0 +1,81 @@
+//! Howard's policy iteration for discounted MDPs.
+
+use crate::mdp::Mdp;
+use crate::value_iteration::DiscountedSolution;
+
+/// Solve a discounted reward-maximisation MDP by policy iteration.
+///
+/// Each iteration evaluates the current policy exactly (linear solve) and
+/// then improves greedily; convergence is finite for finite MDPs.
+pub fn policy_iteration(mdp: &Mdp, discount: f64) -> DiscountedSolution {
+    assert!((0.0..1.0).contains(&discount), "discount must be in [0,1)");
+    let n = mdp.num_states();
+    let mut policy: Vec<usize> = vec![0; n];
+    let mut values = vec![0.0; n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        values = mdp.evaluate_policy_discounted(&policy, discount);
+        let mut stable = true;
+        for s in 0..n {
+            let mut best_a = policy[s];
+            let mut best_q = mdp.q_value(s, policy[s], &values, discount);
+            for a in 0..mdp.num_actions(s) {
+                let q = mdp.q_value(s, a, &values, discount);
+                if q > best_q + 1e-12 {
+                    best_q = q;
+                    best_a = a;
+                }
+            }
+            if best_a != policy[s] {
+                policy[s] = best_a;
+                stable = false;
+            }
+        }
+        if stable || iterations > 10_000 {
+            break;
+        }
+    }
+    DiscountedSolution { values, policy, iterations, residual: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use crate::value_iteration::{value_iteration, ValueIterationOptions};
+
+    #[test]
+    fn agrees_with_value_iteration() {
+        let mut b = MdpBuilder::new(5);
+        for s in 0..5 {
+            b.add_action(s, (s as f64).sin().abs(), vec![((s + 1) % 5, 0.6), (s, 0.4)]);
+            b.add_action(s, 0.3 * s as f64, vec![((s + 2) % 5, 1.0)]);
+            b.add_action(s, 0.1, vec![(0, 0.5), (4, 0.5)]);
+        }
+        let m = b.build();
+        let pi_sol = policy_iteration(&m, 0.9);
+        let vi_sol = value_iteration(
+            &m,
+            &ValueIterationOptions { discount: 0.9, tolerance: 1e-12, max_iterations: 200_000 },
+        );
+        for s in 0..5 {
+            assert!(
+                (pi_sol.values[s] - vi_sol.values[s]).abs() < 1e-6,
+                "state {s}: PI {} vs VI {}",
+                pi_sol.values[s],
+                vi_sol.values[s]
+            );
+        }
+    }
+
+    #[test]
+    fn terminates_quickly_on_trivial_mdp() {
+        let mut b = MdpBuilder::new(1);
+        b.add_action(0, 1.0, vec![(0, 1.0)]);
+        let m = b.build();
+        let sol = policy_iteration(&m, 0.5);
+        assert!(sol.iterations <= 3);
+        assert!((sol.values[0] - 2.0).abs() < 1e-10);
+    }
+}

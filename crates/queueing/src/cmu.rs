@@ -1,0 +1,36 @@
+//! The cµ-rule (Cox–Smith 1961).
+
+use ss_core::index::argsort_decreasing;
+use ss_core::job::JobClass;
+
+/// The cµ priority order: classes sorted by nonincreasing `c_j µ_j`
+/// (highest priority first).  Optimal for the nonpreemptive multiclass
+/// M/G/1 queue with linear holding costs, and among preemptive policies
+/// when service times are exponential.
+pub fn cmu_order(classes: &[JobClass]) -> Vec<usize> {
+    let indices: Vec<f64> = classes.iter().map(|c| c.cmu_index()).collect();
+    argsort_decreasing(&indices)
+}
+
+/// The cµ indices themselves, in class order.
+pub fn cmu_indices(classes: &[JobClass]) -> Vec<f64> {
+    classes.iter().map(|c| c.cmu_index()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_distributions::{dyn_dist, Exponential};
+
+    #[test]
+    fn order_follows_c_times_mu() {
+        let classes = vec![
+            JobClass::new(0, 0.1, dyn_dist(Exponential::with_mean(1.0)), 1.0), // index 1
+            JobClass::new(1, 0.1, dyn_dist(Exponential::with_mean(0.25)), 1.0), // index 4
+            JobClass::new(2, 0.1, dyn_dist(Exponential::with_mean(1.0)), 2.5), // index 2.5
+        ];
+        assert_eq!(cmu_order(&classes), vec![1, 2, 0]);
+        let idx = cmu_indices(&classes);
+        assert!((idx[1] - 4.0).abs() < 1e-12);
+    }
+}

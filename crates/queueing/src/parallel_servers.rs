@@ -1,0 +1,271 @@
+//! Multiclass M/M/m parallel servers with the cµ/Klimov index used as a
+//! heuristic (Glazebrook–Niño-Mora 2001).
+//!
+//! With more than one server the cµ-rule is no longer exactly optimal, but
+//! the survey quotes the achievable-region analysis showing that the index
+//! heuristic comes with a relaxation lower bound whose gap closes in heavy
+//! traffic.  This module provides:
+//!
+//! * an event-driven simulator of the multiclass M/M/m queue under a
+//!   nonpreemptive static priority order;
+//! * a **valid lower bound**: any policy for `m` unit-rate servers can be
+//!   emulated, preemptively and with the same completion times, on a single
+//!   server that works `m` times faster, and on that fast server the
+//!   preemptive cµ-rule is optimal for exponential service times; its exact
+//!   value comes from the preemptive-priority formulas of
+//!   [`crate::cobham`];
+//! * a heavy-traffic sweep (experiment E13) reporting the ratio of the
+//!   simulated index-policy cost to the bound as the load approaches one.
+
+use crate::cmu::cmu_order;
+use crate::cobham::mg1_preemptive_priority;
+use rand::RngCore;
+use ss_core::job::JobClass;
+use ss_distributions::{dyn_dist, Exponential};
+use ss_sim::stats::TimeWeighted;
+use std::collections::VecDeque;
+
+/// Result of one M/M/m simulation run.
+#[derive(Debug, Clone)]
+pub struct MmmResult {
+    /// Time-average number in system per class.
+    pub mean_number: Vec<f64>,
+    /// `Σ_j c_j * mean_number[j]`.
+    pub holding_cost_rate: f64,
+}
+
+/// Simulate a multiclass M/M/m queue (exponential services) under a
+/// nonpreemptive static priority order.
+pub fn simulate_mmm_priority(
+    classes: &[JobClass],
+    servers: usize,
+    priority_order: &[usize],
+    horizon: f64,
+    warmup: f64,
+    rng: &mut dyn RngCore,
+) -> MmmResult {
+    let n = classes.len();
+    assert!(servers >= 1);
+    assert_eq!(priority_order.len(), n);
+    assert!(horizon > warmup);
+    let mut rank = vec![0usize; n];
+    for (pos, &c) in priority_order.iter().enumerate() {
+        rank[c] = pos;
+    }
+
+    let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
+    let mut next_arrival: Vec<f64> = classes
+        .iter()
+        .map(|c| if c.arrival_rate > 0.0 { sample_exp(rng, c.arrival_rate) } else { f64::INFINITY })
+        .collect();
+    // Busy servers: completion times + class.
+    let mut busy: Vec<(f64, usize)> = Vec::with_capacity(servers);
+    let mut counts = vec![0usize; n];
+    let mut trackers: Vec<TimeWeighted> = (0..n).map(|_| TimeWeighted::new(0.0, 0.0)).collect();
+    let mut warmup_done = false;
+    let mut clock;
+
+    loop {
+        let (arr_class, arr_time) = next_arrival
+            .iter()
+            .cloned()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let next_completion = busy
+            .iter()
+            .map(|&(t, _)| t)
+            .fold(f64::INFINITY, f64::min);
+        let t = arr_time.min(next_completion);
+        if t > horizon {
+            break;
+        }
+        clock = t;
+        if !warmup_done && clock >= warmup {
+            for tr in &mut trackers {
+                tr.update(clock, tr.current());
+                tr.reset(clock);
+            }
+            warmup_done = true;
+        }
+
+        if arr_time <= next_completion {
+            counts[arr_class] += 1;
+            trackers[arr_class].update(clock, counts[arr_class] as f64);
+            queues[arr_class].push_back(clock);
+            next_arrival[arr_class] = clock + sample_exp(rng, classes[arr_class].arrival_rate);
+        } else {
+            // Remove the completing server.
+            let pos = busy
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            let (_, class) = busy.swap_remove(pos);
+            counts[class] -= 1;
+            trackers[class].update(clock, counts[class] as f64);
+        }
+
+        // Assign free servers to the highest-priority waiting customers.
+        while busy.len() < servers {
+            let next_class = (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]);
+            let Some(c) = next_class else { break };
+            queues[c].pop_front();
+            let service = classes[c].service.sample(rng);
+            busy.push((clock + service, c));
+        }
+    }
+
+    let mean_number: Vec<f64> = trackers.iter().map(|tr| tr.time_average(horizon)).collect();
+    let holding_cost_rate = classes
+        .iter()
+        .enumerate()
+        .map(|(c, cl)| cl.holding_cost * mean_number[c])
+        .sum();
+    MmmResult { mean_number, holding_cost_rate }
+}
+
+fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
+    use rand::Rng;
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// The fast-single-server lower bound on the holding-cost rate of *any*
+/// policy for `m` parallel unit-rate servers: the preemptive cµ optimum of
+/// the M/G/1 queue whose service times are the originals divided by `m`.
+pub fn fast_server_lower_bound(classes: &[JobClass], servers: usize) -> f64 {
+    let scaled: Vec<JobClass> = classes
+        .iter()
+        .map(|c| {
+            JobClass::new(
+                c.id,
+                c.arrival_rate,
+                dyn_dist(Exponential::with_mean(c.mean_service() / servers as f64)),
+                c.holding_cost,
+            )
+        })
+        .collect();
+    let order = cmu_order(&scaled);
+    mg1_preemptive_priority(&scaled, &order).holding_cost_rate
+}
+
+/// One point of the heavy-traffic sweep of experiment E13.
+#[derive(Debug, Clone)]
+pub struct HeavyTrafficPoint {
+    /// System load `ρ = Σ λ_j E[S_j] / m`.
+    pub rho: f64,
+    /// Simulated holding-cost rate of the cµ priority rule.
+    pub cmu_cost: f64,
+    /// Fast-single-server lower bound.
+    pub lower_bound: f64,
+    /// `cmu_cost / lower_bound`.
+    pub ratio: f64,
+}
+
+/// Sweep the load by scaling all arrival rates: for each factor, simulate
+/// the cµ rule on `servers` servers and compare with the lower bound.
+pub fn heavy_traffic_sweep(
+    base_classes: &[JobClass],
+    servers: usize,
+    load_factors: &[f64],
+    horizon: f64,
+    warmup: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<HeavyTrafficPoint> {
+    load_factors
+        .iter()
+        .map(|&factor| {
+            let classes: Vec<JobClass> = base_classes
+                .iter()
+                .map(|c| {
+                    JobClass::new(c.id, c.arrival_rate * factor, c.service.clone(), c.holding_cost)
+                })
+                .collect();
+            let rho: f64 =
+                classes.iter().map(|c| c.load()).sum::<f64>() / servers as f64;
+            assert!(rho < 1.0, "sweep point is unstable (rho = {rho})");
+            let order = cmu_order(&classes);
+            let sim = simulate_mmm_priority(&classes, servers, &order, horizon, warmup, rng);
+            let lb = fast_server_lower_bound(&classes, servers);
+            HeavyTrafficPoint { rho, cmu_cost: sim.holding_cost_rate, lower_bound: lb, ratio: sim.holding_cost_rate / lb }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn base_classes() -> Vec<JobClass> {
+        vec![
+            JobClass::new(0, 0.5, dyn_dist(Exponential::with_mean(1.0)), 1.0),
+            JobClass::new(1, 0.4, dyn_dist(Exponential::with_mean(0.6)), 3.0),
+        ]
+    }
+
+    #[test]
+    fn single_server_single_class_matches_mm1() {
+        let classes = vec![JobClass::new(0, 0.6, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let res = simulate_mmm_priority(&classes, 1, &[0], 80_000.0, 2_000.0, &mut rng);
+        // M/M/1: L = rho / (1 - rho) = 1.5.
+        assert!((res.mean_number[0] - 1.5).abs() < 0.15, "L = {}", res.mean_number[0]);
+    }
+
+    #[test]
+    fn two_server_erlang_c_sanity() {
+        // M/M/2 with rho = 0.75 per-server: L = Lq + rho*2 where Lq from Erlang C.
+        let classes = vec![JobClass::new(0, 1.5, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let res = simulate_mmm_priority(&classes, 2, &[0], 80_000.0, 2_000.0, &mut rng);
+        // Erlang-C for m=2, a=1.5: P(wait) = 0.6428...; Lq = P(wait)*rho/(1-rho) = 1.9286; L = Lq + 1.5 = 3.43.
+        let expected = 3.4286;
+        assert!(
+            (res.mean_number[0] - expected).abs() / expected < 0.08,
+            "L = {} vs Erlang-C {expected}",
+            res.mean_number[0]
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_below_simulated_cmu() {
+        let classes = base_classes();
+        let lb = fast_server_lower_bound(&classes, 2);
+        let order = cmu_order(&classes);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sim = simulate_mmm_priority(&classes, 2, &order, 60_000.0, 2_000.0, &mut rng);
+        assert!(lb <= sim.holding_cost_rate * 1.02, "LB {lb} vs sim {}", sim.holding_cost_rate);
+    }
+
+    #[test]
+    fn cmu_beats_reverse_priority_on_two_servers() {
+        let classes = base_classes();
+        let order = cmu_order(&classes);
+        let mut reverse = order.clone();
+        reverse.reverse();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = simulate_mmm_priority(&classes, 2, &order, 60_000.0, 2_000.0, &mut rng);
+        let b = simulate_mmm_priority(&classes, 2, &reverse, 60_000.0, 2_000.0, &mut rng);
+        assert!(a.holding_cost_rate < b.holding_cost_rate);
+    }
+
+    #[test]
+    fn heavy_traffic_ratio_approaches_one() {
+        // E13 shape: the ratio sim / bound falls toward 1 as rho -> 1.
+        let classes = base_classes(); // load 0.74 on 2 servers at factor 1... scale below
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let points = heavy_traffic_sweep(&classes, 2, &[1.0, 2.4], 120_000.0, 4_000.0, &mut rng);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].rho < points[1].rho && points[1].rho < 1.0);
+        assert!(points[0].ratio >= 1.0 - 0.05);
+        assert!(
+            points[1].ratio < points[0].ratio,
+            "ratio should fall towards 1 in heavy traffic: {:?}",
+            points
+        );
+    }
+}

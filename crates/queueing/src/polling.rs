@@ -1,0 +1,299 @@
+//! Changeover (setup) times and polling disciplines
+//! (Levy–Sidi 1990, Reiman–Wein 1998).
+//!
+//! When switching the server from one job class to another incurs a setup
+//! time, the pure cµ-rule (which may switch very often) loses its
+//! optimality; polling-style disciplines that serve a queue exhaustively
+//! before switching amortise the setups.  Experiment E16 sweeps the setup
+//! time and shows the crossover between
+//!
+//! * the **cµ-with-setups** discipline: after every service completion the
+//!   server moves to the nonempty class with the largest cµ index, paying a
+//!   setup whenever that class differs from the one just served; and
+//! * **exhaustive polling**: the server stays on its current class until
+//!   that queue empties, then switches (with a setup) to the nonempty class
+//!   with the largest cµ index.
+
+use rand::RngCore;
+use ss_core::job::JobClass;
+use ss_distributions::DynDist;
+use ss_sim::stats::TimeWeighted;
+use std::collections::VecDeque;
+
+/// Which discipline the polling simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollingDiscipline {
+    /// Switch to the highest-cµ nonempty class after every completion.
+    CmuWithSetups,
+    /// Serve the current class exhaustively, then switch to the
+    /// highest-cµ nonempty class.
+    Exhaustive,
+    /// Gated service: when the server (re)visits a class it closes a gate
+    /// behind the customers already waiting, serves exactly those, and then
+    /// switches to the highest-cµ nonempty class; customers arriving during
+    /// the visit wait for the next one.  The classical alternative to
+    /// exhaustive service in the polling literature (Levy–Sidi 1990).
+    Gated,
+}
+
+/// Result of one polling simulation run.
+#[derive(Debug, Clone)]
+pub struct PollingResult {
+    /// Time-average number in system per class.
+    pub mean_number: Vec<f64>,
+    /// `Σ_j c_j * mean_number[j]`.
+    pub holding_cost_rate: f64,
+    /// Number of setups performed (after warm-up).
+    pub setups: u64,
+}
+
+/// Simulate a multiclass M/G/1 queue with class switchover times.
+///
+/// `setup[j]` is the distribution of the setup incurred when the server
+/// switches *to* class `j`.
+pub fn simulate_polling(
+    classes: &[JobClass],
+    setup: &[DynDist],
+    discipline: PollingDiscipline,
+    horizon: f64,
+    warmup: f64,
+    rng: &mut dyn RngCore,
+) -> PollingResult {
+    let n = classes.len();
+    assert_eq!(setup.len(), n);
+    assert!(horizon > warmup);
+    // cµ ranking (lower rank = higher priority).
+    let order = crate::cmu::cmu_order(classes);
+    let mut rank = vec![0usize; n];
+    for (pos, &c) in order.iter().enumerate() {
+        rank[c] = pos;
+    }
+
+    let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
+    let mut next_arrival: Vec<f64> = classes
+        .iter()
+        .map(|c| if c.arrival_rate > 0.0 { sample_exp(rng, c.arrival_rate) } else { f64::INFINITY })
+        .collect();
+    let mut counts = vec![0usize; n];
+    let mut trackers: Vec<TimeWeighted> = (0..n).map(|_| TimeWeighted::new(0.0, 0.0)).collect();
+    let mut warmup_done = false;
+    let mut setups = 0u64;
+
+    // Server state: the class it is configured for, and what it is doing.
+    let mut configured: Option<usize> = None;
+    // (completion_time, class, is_setup)
+    let mut busy: Option<(f64, usize, bool)> = None;
+    // Gated service: how many of the currently configured class's customers
+    // are still behind the gate (0 = the gate must be re-closed on the next
+    // visit decision).
+    let mut gate_remaining: usize = 0;
+    let mut clock;
+
+    loop {
+        let (arr_class, arr_time) = next_arrival
+            .iter()
+            .cloned()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let busy_time = busy.map(|(t, _, _)| t).unwrap_or(f64::INFINITY);
+        let t = arr_time.min(busy_time);
+        if t > horizon {
+            break;
+        }
+        clock = t;
+        if !warmup_done && clock >= warmup {
+            for tr in &mut trackers {
+                tr.update(clock, tr.current());
+                tr.reset(clock);
+            }
+            warmup_done = true;
+        }
+
+        if arr_time <= busy_time {
+            counts[arr_class] += 1;
+            trackers[arr_class].update(clock, counts[arr_class] as f64);
+            queues[arr_class].push_back(clock);
+            next_arrival[arr_class] = clock + sample_exp(rng, classes[arr_class].arrival_rate);
+        } else {
+            let (_, class, was_setup) = busy.take().unwrap();
+            if was_setup {
+                // Setup finished; the server is now configured for `class`.
+                configured = Some(class);
+                // A gated visit serves exactly the customers present when
+                // the setup (the "gate") completes.
+                if discipline == PollingDiscipline::Gated {
+                    gate_remaining = queues[class].len();
+                }
+            } else {
+                counts[class] -= 1;
+                trackers[class].update(clock, counts[class] as f64);
+            }
+        }
+
+        // Decide what the (idle) server does next.
+        if busy.is_none() {
+            // Target class by discipline.
+            let target = match discipline {
+                PollingDiscipline::CmuWithSetups => (0..n)
+                    .filter(|&c| !queues[c].is_empty())
+                    .min_by_key(|&c| rank[c]),
+                PollingDiscipline::Exhaustive => {
+                    match configured {
+                        Some(c) if !queues[c].is_empty() => Some(c),
+                        _ => (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]),
+                    }
+                }
+                PollingDiscipline::Gated => {
+                    match configured {
+                        Some(c) if gate_remaining > 0 && !queues[c].is_empty() => Some(c),
+                        _ => (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]),
+                    }
+                }
+            };
+            if let Some(target) = target {
+                if configured == Some(target) {
+                    // Revisiting the configured class without a changeover
+                    // (e.g. it is the only nonempty class): re-close the gate
+                    // around the customers now waiting.
+                    if discipline == PollingDiscipline::Gated && gate_remaining == 0 {
+                        gate_remaining = queues[target].len();
+                    }
+                    // Serve one customer of the configured class.
+                    queues[target].pop_front();
+                    if discipline == PollingDiscipline::Gated {
+                        gate_remaining = gate_remaining.saturating_sub(1);
+                    }
+                    let service = classes[target].service.sample(rng);
+                    busy = Some((clock + service, target, false));
+                } else {
+                    // Perform a setup towards the target class.
+                    let s = setup[target].sample(rng);
+                    if clock >= warmup {
+                        setups += 1;
+                    }
+                    busy = Some((clock + s, target, true));
+                }
+            }
+        }
+    }
+
+    let mean_number: Vec<f64> = trackers.iter().map(|tr| tr.time_average(horizon)).collect();
+    let holding_cost_rate = classes
+        .iter()
+        .enumerate()
+        .map(|(c, cl)| cl.holding_cost * mean_number[c])
+        .sum();
+    PollingResult { mean_number, holding_cost_rate, setups }
+}
+
+fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
+    use rand::Rng;
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use ss_distributions::{dyn_dist, Deterministic, Exponential};
+
+    fn classes_2() -> Vec<JobClass> {
+        vec![
+            JobClass::new(0, 0.35, dyn_dist(Exponential::with_mean(1.0)), 1.0),
+            JobClass::new(1, 0.3, dyn_dist(Exponential::with_mean(0.8)), 2.0),
+        ]
+    }
+
+    fn setups(v: f64) -> Vec<DynDist> {
+        vec![dyn_dist(Deterministic::new(v)), dyn_dist(Deterministic::new(v))]
+    }
+
+    fn run(discipline: PollingDiscipline, setup_time: f64, seed: u64) -> PollingResult {
+        let classes = classes_2();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        simulate_polling(&classes, &setups(setup_time), discipline, 80_000.0, 2_000.0, &mut rng)
+    }
+
+    #[test]
+    fn zero_setup_cmu_matches_plain_priority_queue() {
+        // With zero setup times the cµ-with-setups discipline is the plain
+        // nonpreemptive cµ priority queue; check against Cobham.
+        let classes = classes_2();
+        let order = crate::cmu::cmu_order(&classes);
+        let exact = crate::cobham::mg1_nonpreemptive_priority(&classes, &order);
+        let res = run(PollingDiscipline::CmuWithSetups, 0.0, 1);
+        assert!(
+            (res.holding_cost_rate - exact.holding_cost_rate).abs() / exact.holding_cost_rate
+                < 0.1,
+            "sim {} vs exact {}",
+            res.holding_cost_rate,
+            exact.holding_cost_rate
+        );
+    }
+
+    #[test]
+    fn zero_setup_cmu_is_no_worse_than_exhaustive() {
+        let cmu = run(PollingDiscipline::CmuWithSetups, 0.0, 2);
+        let exhaustive = run(PollingDiscipline::Exhaustive, 0.0, 2);
+        assert!(cmu.holding_cost_rate <= exhaustive.holding_cost_rate * 1.05);
+    }
+
+    #[test]
+    fn large_setups_favour_exhaustive_service() {
+        // E16: with substantial changeover times the frequent switching of
+        // the cµ rule eats so much capacity that the queue blows up, while
+        // exhaustive service amortises the setups over whole busy periods
+        // and stays stable with a far lower holding cost.
+        let classes = vec![
+            JobClass::new(0, 0.45, dyn_dist(Exponential::with_mean(1.0)), 1.0),
+            JobClass::new(1, 0.35, dyn_dist(Exponential::with_mean(0.8)), 2.0),
+        ];
+        let setup = setups(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cmu = simulate_polling(&classes, &setup, PollingDiscipline::CmuWithSetups, 60_000.0, 2_000.0, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let exhaustive = simulate_polling(&classes, &setup, PollingDiscipline::Exhaustive, 60_000.0, 2_000.0, &mut rng);
+        assert!(
+            exhaustive.holding_cost_rate < cmu.holding_cost_rate,
+            "exhaustive {} should beat cmu-with-setups {}",
+            exhaustive.holding_cost_rate,
+            cmu.holding_cost_rate
+        );
+        assert!(exhaustive.setups < cmu.setups);
+    }
+
+    #[test]
+    fn setup_count_increases_with_switching_discipline() {
+        let cmu = run(PollingDiscipline::CmuWithSetups, 0.1, 4);
+        let exhaustive = run(PollingDiscipline::Exhaustive, 0.1, 4);
+        assert!(cmu.setups >= exhaustive.setups);
+    }
+
+    #[test]
+    fn gated_service_is_stable_and_switches_at_least_as_often_as_exhaustive() {
+        // Gated visits end after the gated batch even if new work arrived,
+        // so the server changes over at least as often as under exhaustive
+        // service, and (for this symmetric-cost regime) pays for it with a
+        // holding cost at least as large.
+        let gated = run(PollingDiscipline::Gated, 0.4, 8);
+        let exhaustive = run(PollingDiscipline::Exhaustive, 0.4, 8);
+        assert!(gated.holding_cost_rate.is_finite() && gated.holding_cost_rate > 0.0);
+        assert!(gated.setups >= exhaustive.setups);
+        assert!(gated.holding_cost_rate >= exhaustive.holding_cost_rate * 0.95);
+    }
+
+    #[test]
+    fn gated_with_zero_setup_stays_close_to_exhaustive() {
+        // With no changeover cost the difference between gated and
+        // exhaustive service is only the order in which recent arrivals are
+        // picked up; the holding-cost rates must be within a few percent.
+        let gated = run(PollingDiscipline::Gated, 0.0, 9);
+        let exhaustive = run(PollingDiscipline::Exhaustive, 0.0, 9);
+        let rel = (gated.holding_cost_rate - exhaustive.holding_cost_rate).abs()
+            / exhaustive.holding_cost_rate;
+        assert!(rel < 0.1, "gated {} vs exhaustive {}", gated.holding_cost_rate, exhaustive.holding_cost_rate);
+    }
+}

@@ -1,0 +1,307 @@
+//! Output-analysis statistics: online moments, confidence intervals,
+//! time-weighted averages and batch means.
+
+use ss_distributions::special::std_normal_inv_cdf;
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of a normal-approximation confidence interval at the given
+    /// level (e.g. `0.95`).
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        assert!(level > 0.0 && level < 1.0);
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        let z = std_normal_inv_cdf(0.5 + level / 2.0);
+        z * self.std_error()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant process (queue lengths,
+/// number-in-system, busy servers).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: f64,
+    last_value: f64,
+    area: f64,
+    start_time: f64,
+    max_value: f64,
+}
+
+impl TimeWeighted {
+    /// Start observing at `time` with initial value `value`.
+    pub fn new(time: f64, value: f64) -> Self {
+        Self { last_time: time, last_value: value, area: 0.0, start_time: time, max_value: value }
+    }
+
+    /// Record that the process changed to `value` at `time`.
+    pub fn update(&mut self, time: f64, value: f64) {
+        assert!(time + 1e-12 >= self.last_time, "time went backwards: {} -> {}", self.last_time, time);
+        self.area += self.last_value * (time - self.last_time).max(0.0);
+        self.last_time = time;
+        self.last_value = value;
+        self.max_value = self.max_value.max(value);
+    }
+
+    /// Time-average of the process over `[start, time]`, closing the last
+    /// segment at `time`.
+    pub fn time_average(&self, time: f64) -> f64 {
+        let span = time - self.start_time;
+        if span <= 0.0 {
+            return self.last_value;
+        }
+        (self.area + self.last_value * (time - self.last_time).max(0.0)) / span
+    }
+
+    /// Accumulated area under the curve up to the last update.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Largest value observed.
+    pub fn max_value(&self) -> f64 {
+        self.max_value
+    }
+
+    /// Current value of the process.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Discard history and restart the integration at `time` keeping the
+    /// current value (used to delete a warm-up period).
+    pub fn reset(&mut self, time: f64) {
+        self.area = 0.0;
+        self.start_time = time;
+        self.last_time = time;
+        self.max_value = self.last_value;
+    }
+}
+
+/// Batch-means estimator for steady-state output analysis of a single long
+/// run: observations are grouped into `num_batches` contiguous batches and
+/// the batch averages are treated as (approximately) i.i.d.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current_sum: f64,
+    current_count: usize,
+    batch_averages: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Create with a fixed batch size (number of observations per batch).
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0);
+        Self { batch_size, current_sum: 0.0, current_count: 0, batch_averages: Vec::new() }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_averages.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn num_batches(&self) -> usize {
+        self.batch_averages.len()
+    }
+
+    /// Grand mean over completed batches.
+    pub fn mean(&self) -> f64 {
+        if self.batch_averages.is_empty() {
+            return 0.0;
+        }
+        self.batch_averages.iter().sum::<f64>() / self.batch_averages.len() as f64
+    }
+
+    /// Confidence-interval half width over the completed batch means.
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        let mut stats = OnlineStats::new();
+        for &b in &self.batch_averages {
+            stats.push(b);
+        }
+        stats.ci_half_width(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 denominator: 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 5.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..40] {
+            a.push(x);
+        }
+        for &x in &xs[40..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        let mut x = 0.37f64;
+        for i in 0..10_000 {
+            x = (x * 997.3).fract();
+            if i < 100 {
+                small.push(x);
+            }
+            large.push(x);
+        }
+        assert!(large.ci_half_width(0.95) < small.ci_half_width(0.95));
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.update(1.0, 2.0); // value 0 on [0,1)
+        tw.update(3.0, 1.0); // value 2 on [1,3)
+        // value 1 on [3,5]
+        let avg = tw.time_average(5.0);
+        // (0*1 + 2*2 + 1*2) / 5 = 6/5
+        assert!((avg - 1.2).abs() < 1e-12);
+        assert_eq!(tw.max_value(), 2.0);
+        assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_reset_discards_warmup() {
+        let mut tw = TimeWeighted::new(0.0, 10.0);
+        tw.update(5.0, 1.0);
+        tw.reset(5.0);
+        tw.update(10.0, 1.0);
+        let avg = tw.time_average(10.0);
+        assert!((avg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_groups_correctly() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..100 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.num_batches(), 10);
+        assert!((bm.mean() - 49.5).abs() < 1e-12);
+        assert!(bm.ci_half_width(0.95).is_finite());
+    }
+}

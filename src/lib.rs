@@ -1,0 +1,58 @@
+//! # stochastic-scheduling
+//!
+//! A reproduction of the survey **"Stochastic Scheduling"** (José Niño-Mora)
+//! as a Rust workspace.  This facade crate re-exports every member crate so
+//! downstream users (and the `examples/` binaries) can depend on a single
+//! package:
+//!
+//! * [`distributions`] — processing-time / inter-arrival distributions,
+//!   hazard-rate classification, stochastic orderings.
+//! * [`sim`] — discrete-event simulation engine, statistics and replication
+//!   runners.
+//! * [`lp`] — dense two-phase simplex LP solver (Whittle / achievable-region
+//!   relaxations).
+//! * [`mdp`] — finite Markov decision process solvers (discounted and
+//!   average criteria, optimal stopping).
+//! * [`core`] — shared scheduling vocabulary: jobs, objectives, index
+//!   policies, comparison tables.
+//! * [`batch`] — §1 of the survey: scheduling a batch of stochastic jobs
+//!   (WSEPT, SEPT/LEPT, preemptive Gittins-type indices, parallel machines,
+//!   flow shops, turnpike asymptotics).
+//! * [`bandits`] — §2: multi-armed and restless bandits (Gittins index,
+//!   Whittle index, marginal productivity indices, branching bandits,
+//!   LP relaxation bounds, switching costs).
+//! * [`queueing`] — §3: queueing scheduling control (multiclass M/G/1 and
+//!   the cµ-rule, the achievable-region LP and adaptive-greedy indices,
+//!   Klimov networks, parallel servers, multistation networks, stability,
+//!   fluid models, polling and setup thresholds).
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-claim vs. measured results of every experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stochastic_scheduling::batch::policies::wsept_order;
+//! use stochastic_scheduling::batch::single_machine::expected_weighted_flowtime;
+//! use stochastic_scheduling::core::instance::BatchInstance;
+//! use stochastic_scheduling::distributions::{dyn_dist, Exponential};
+//!
+//! // Three stochastic jobs on one machine: WSEPT sequences them optimally.
+//! let instance = BatchInstance::builder()
+//!     .job(1.0, dyn_dist(Exponential::with_mean(2.0)))
+//!     .job(4.0, dyn_dist(Exponential::with_mean(1.0)))
+//!     .job(2.0, dyn_dist(Exponential::with_mean(3.0)))
+//!     .build();
+//! let order = wsept_order(&instance);
+//! let cost = expected_weighted_flowtime(&instance, &order);
+//! assert!(cost > 0.0);
+//! ```
+
+pub use ss_bandits as bandits;
+pub use ss_batch as batch;
+pub use ss_core as core;
+pub use ss_distributions as distributions;
+pub use ss_lp as lp;
+pub use ss_mdp as mdp;
+pub use ss_queueing as queueing;
+pub use ss_sim as sim;

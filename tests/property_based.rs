@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) of the core invariants claimed by the
+//! survey and relied on throughout the workspace.
+
+use proptest::prelude::*;
+use stochastic_scheduling::batch::policies::wsept_order;
+use stochastic_scheduling::batch::single_machine::{adjacent_interchange_delta, expected_weighted_flowtime};
+use stochastic_scheduling::core::instance::BatchInstance;
+use stochastic_scheduling::core::job::JobClass;
+use stochastic_scheduling::distributions::{dyn_dist, Exponential, ServiceDistribution, TwoPoint, Uniform, Weibull};
+use stochastic_scheduling::lp::{LinearProgram, Relation};
+use stochastic_scheduling::queueing::cmu::cmu_order;
+use stochastic_scheduling::queueing::cobham::mg1_nonpreemptive_priority;
+use stochastic_scheduling::queueing::conservation::{conserved_work, weighted_wait_sum};
+use stochastic_scheduling::sim::events::EventQueue;
+use stochastic_scheduling::sim::stats::OnlineStats;
+
+fn batch_instance_from(weights: &[f64], means: &[f64]) -> BatchInstance {
+    let mut b = BatchInstance::builder();
+    for (w, m) in weights.iter().zip(means) {
+        b = b.job(*w, dyn_dist(Exponential::with_mean(*m)));
+    }
+    b.build()
+}
+
+proptest! {
+    /// The WSEPT order is never beaten by any adjacent interchange, and is
+    /// never worse than the identity or the reversed order (the exchange
+    /// argument behind Smith's rule).
+    #[test]
+    fn wsept_is_locally_and_globally_consistent(
+        weights in prop::collection::vec(0.1f64..5.0, 2..8),
+        means_seed in prop::collection::vec(0.1f64..5.0, 2..8),
+    ) {
+        let n = weights.len().min(means_seed.len());
+        let weights = &weights[..n];
+        let means = &means_seed[..n];
+        let inst = batch_instance_from(weights, means);
+        let order = wsept_order(&inst);
+        let wsept_value = expected_weighted_flowtime(&inst, &order);
+        for pos in 0..n - 1 {
+            prop_assert!(adjacent_interchange_delta(&inst, &order, pos) >= -1e-9);
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        prop_assert!(wsept_value <= expected_weighted_flowtime(&inst, &identity) + 1e-9);
+        prop_assert!(wsept_value <= expected_weighted_flowtime(&inst, &reversed) + 1e-9);
+    }
+
+    /// Distribution invariants: sampled values are nonnegative, the CDF is
+    /// monotone, and the survival function complements it.
+    #[test]
+    fn distribution_cdf_monotone_and_consistent(
+        mean in 0.2f64..5.0,
+        shape in 0.6f64..3.0,
+        x1 in 0.0f64..10.0,
+        x2 in 0.0f64..10.0,
+    ) {
+        let dists: Vec<Box<dyn ServiceDistribution>> = vec![
+            Box::new(Exponential::with_mean(mean)),
+            Box::new(Weibull::with_mean(shape, mean)),
+            Box::new(Uniform::new(0.5 * mean, 1.5 * mean)),
+            Box::new(TwoPoint::new(0.3, 0.5 * mean, 2.0 * mean)),
+        ];
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        for d in &dists {
+            prop_assert!(d.mean() > 0.0);
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+            prop_assert!((d.cdf(hi) + d.sf(hi) - 1.0).abs() < 1e-9);
+            prop_assert!(d.second_moment() + 1e-12 >= d.mean() * d.mean());
+        }
+    }
+
+    /// Work conservation: `Σ ρ_j W_j` is the same for every static priority
+    /// order of a stable multiclass M/G/1 queue, and the cµ order minimises
+    /// the holding-cost rate among the sampled orders.
+    #[test]
+    fn conservation_law_and_cmu_optimality(
+        rates in prop::collection::vec(0.05f64..0.3, 3),
+        means in prop::collection::vec(0.2f64..1.2, 3),
+        costs in prop::collection::vec(0.1f64..5.0, 3),
+    ) {
+        let classes: Vec<JobClass> = (0..3)
+            .map(|i| JobClass::new(i, rates[i], dyn_dist(Exponential::with_mean(means[i])), costs[i]))
+            .collect();
+        let rho: f64 = classes.iter().map(|c| c.load()).sum();
+        prop_assume!(rho < 0.95);
+        let target = conserved_work(&classes);
+        let orders = [[0usize, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0], [0, 2, 1], [2, 0, 1]];
+        let cmu = cmu_order(&classes);
+        let cmu_cost = mg1_nonpreemptive_priority(&classes, &cmu).holding_cost_rate;
+        for order in orders {
+            let s = weighted_wait_sum(&classes, &order);
+            prop_assert!((s - target).abs() / target < 1e-6, "{s} vs {target}");
+            let cost = mg1_nonpreemptive_priority(&classes, &order).holding_cost_rate;
+            prop_assert!(cmu_cost <= cost + 1e-9);
+        }
+    }
+
+    /// The event calendar returns events in nondecreasing time order no
+    /// matter how they were inserted.
+    #[test]
+    fn event_queue_is_a_priority_queue(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(xs in prop::collection::vec(-1e3f64..1e3, 2..300)) {
+        let mut stats = OnlineStats::new();
+        for &x in &xs {
+            stats.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((stats.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+    }
+
+    /// LP solver invariants on random feasible problems: the reported
+    /// solution is feasible and its objective matches c·x.
+    #[test]
+    fn simplex_solutions_are_feasible(
+        costs in prop::collection::vec(-2.0f64..2.0, 2..6),
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2..6), 1..5),
+        rhs in prop::collection::vec(0.5f64..4.0, 1..5),
+    ) {
+        let n = costs.len();
+        let mut lp = LinearProgram::minimize(costs.clone());
+        let m = rows.len().min(rhs.len());
+        for i in 0..m {
+            let mut coeffs = rows[i].clone();
+            coeffs.resize(n, 0.0);
+            lp.add_constraint(coeffs, Relation::Le, rhs[i]);
+        }
+        // x = 0 is always feasible, so the LP is feasible; it may be
+        // unbounded when some cost is negative and unconstrained, which the
+        // solver must report as an error rather than a bogus solution.
+        match lp.solve() {
+            Ok(sol) => {
+                let recomputed: f64 = costs.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+                prop_assert!((recomputed - sol.objective).abs() < 1e-6);
+                prop_assert!(sol.x.iter().all(|&x| x >= -1e-9));
+                for i in 0..m {
+                    let lhs: f64 = rows[i].iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+                    prop_assert!(lhs <= rhs[i] + 1e-6);
+                }
+                prop_assert!(sol.objective <= 1e-9); // x = 0 gives 0, optimum cannot be worse
+            }
+            Err(e) => {
+                prop_assert_eq!(e, stochastic_scheduling::lp::LpError::Unbounded);
+            }
+        }
+    }
+}
