@@ -1,0 +1,24 @@
+//! Fast smoke test of the crate's headline computation: the Gittins index.
+//! For a project paying a constant reward `r` in every state, the index is
+//! exactly `r` regardless of the transition structure or discount.
+
+use ss_bandits::gittins::gittins_indices_vwb;
+use ss_bandits::project::BanditProject;
+
+#[test]
+fn gittins_smoke() {
+    let r = 0.7;
+    let project = BanditProject::new(
+        vec![r; 3],
+        vec![
+            vec![(0, 0.2), (1, 0.5), (2, 0.3)],
+            vec![(0, 1.0)],
+            vec![(1, 0.6), (2, 0.4)],
+        ],
+    );
+    let indices = gittins_indices_vwb(&project, 0.9);
+    assert_eq!(indices.len(), 3);
+    for (s, &g) in indices.iter().enumerate() {
+        assert!((g - r).abs() < 1e-9, "state {s}: Gittins {g} vs constant reward {r}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Fast smoke test of the crate's headline computation: WSEPT sequencing of
+//! a small batch, which must sort by `w_j / E[S_j]` and never lose to the
+//! identity or reversed order.
+
+use ss_batch::policies::wsept_order;
+use ss_batch::single_machine::expected_weighted_flowtime;
+use ss_core::instance::BatchInstance;
+use ss_distributions::{dyn_dist, Exponential};
+
+#[test]
+fn wsept_smoke() {
+    // (weight, mean): WSEPT ratios are 0.5, 4.0, 2/3 -> order [1, 2, 0].
+    let instance = BatchInstance::builder()
+        .job(1.0, dyn_dist(Exponential::with_mean(2.0)))
+        .job(4.0, dyn_dist(Exponential::with_mean(1.0)))
+        .job(2.0, dyn_dist(Exponential::with_mean(3.0)))
+        .build();
+    let order = wsept_order(&instance);
+    assert_eq!(order, vec![1, 2, 0]);
+
+    let wsept = expected_weighted_flowtime(&instance, &order);
+    let identity = expected_weighted_flowtime(&instance, &[0, 1, 2]);
+    let reversed = expected_weighted_flowtime(&instance, &[2, 1, 0]);
+    assert!(wsept > 0.0);
+    assert!(wsept <= identity + 1e-12);
+    assert!(wsept <= reversed + 1e-12);
+}

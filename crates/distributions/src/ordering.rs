@@ -69,7 +69,7 @@ pub fn hazard_rate_order(
     points: usize,
 ) -> OrderCheck {
     // Note the swap: larger hazard everywhere means stochastically smaller.
-    let res = compare_pointwise(
+    compare_pointwise(
         |x| {
             let ha = a.hazard(x);
             let hb = b.hazard(x);
@@ -80,8 +80,7 @@ pub fn hazard_rate_order(
         horizon,
         points,
         1e-9,
-    );
-    res
+    )
 }
 
 /// Likelihood-ratio order: `A <=lr B` iff the density ratio

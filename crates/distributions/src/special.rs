@@ -186,9 +186,9 @@ mod tests {
     fn reg_lower_gamma_matches_erlang_cdf() {
         // For integer shape k, P(k, x) = 1 - sum_{n<k} e^-x x^n / n!.
         for k in 1..=6u32 {
-            for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            for &x in &[0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0] {
                 let mut tail = 0.0;
-                let mut term = (-x as f64).exp();
+                let mut term = (-x).exp();
                 for n in 0..k {
                     if n > 0 {
                         term *= x / n as f64;

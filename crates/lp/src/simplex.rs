@@ -89,7 +89,7 @@ impl Tableau {
                 let better = if bland {
                     ratio < best_ratio - EPS
                         || ((ratio - best_ratio).abs() <= EPS
-                            && best_row.map_or(true, |r| self.basis[i] < self.basis[r]))
+                            && best_row.is_none_or(|r| self.basis[i] < self.basis[r]))
                 } else {
                     ratio < best_ratio - EPS
                 };

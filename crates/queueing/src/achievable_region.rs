@@ -79,7 +79,7 @@ pub struct RegionLpResult {
 /// as `2^N`.
 pub fn region_lp(classes: &[JobClass]) -> RegionLpResult {
     let n = classes.len();
-    assert!(n >= 1 && n <= 12, "region LP limited to 1..=12 classes, got {n}");
+    assert!((1..=12).contains(&n), "region LP limited to 1..=12 classes, got {n}");
     assert!(total_load(classes) < 1.0, "unstable load");
 
     let objective: Vec<f64> = classes.iter().map(|c| c.cmu_index()).collect();

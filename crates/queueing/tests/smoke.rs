@@ -1,0 +1,44 @@
+//! Fast smoke test of the crate's headline computations: the cµ priority
+//! order, and Klimov's index algorithm degenerating to cµ when there is no
+//! feedback routing.
+
+use ss_core::job::JobClass;
+use ss_distributions::{dyn_dist, Exponential};
+use ss_queueing::cmu::cmu_order;
+use ss_queueing::klimov::{klimov_indices, KlimovNetwork};
+
+fn classes() -> Vec<JobClass> {
+    // cmu indices: 1/1 = 1, 3/0.5 = 6, 2/1.25 = 1.6 -> order [1, 2, 0].
+    vec![
+        JobClass::new(0, 0.2, dyn_dist(Exponential::with_mean(1.0)), 1.0),
+        JobClass::new(1, 0.2, dyn_dist(Exponential::with_mean(0.5)), 3.0),
+        JobClass::new(2, 0.2, dyn_dist(Exponential::with_mean(1.25)), 2.0),
+    ]
+}
+
+#[test]
+fn cmu_smoke() {
+    assert_eq!(cmu_order(&classes()), vec![1, 2, 0]);
+}
+
+#[test]
+fn klimov_without_feedback_is_cmu_smoke() {
+    let means = [1.0, 0.5, 1.25];
+    let costs = [1.0, 3.0, 2.0];
+    let services: Vec<_> = means.iter().map(|&m| dyn_dist(Exponential::with_mean(m))).collect();
+    let network = KlimovNetwork::new(
+        vec![0.05; 3],
+        services,
+        costs.to_vec(),
+        vec![vec![0.0; 3]; 3],
+    );
+    let indices = klimov_indices(&network);
+    for j in 0..3 {
+        let cmu = costs[j] / means[j];
+        assert!(
+            (indices[j] - cmu).abs() < 1e-10,
+            "class {j}: Klimov {} vs cmu {cmu}",
+            indices[j]
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Minimal offline shim of the `proptest` property-testing API.
+//!
+//! Supports the subset this workspace's test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional leading
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * `x in <range>` strategies over numeric ranges,
+//! * [`collection::vec`] with an exact length or a `usize` range (nesting
+//!   allowed),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Cases are generated from a ChaCha8 stream seeded from the test's name, so
+//! runs are deterministic. There is **no shrinking**: a failing case panics
+//! immediately and prints the generated inputs, which is usually enough to
+//! reproduce by pasting them into a concrete `#[test]`.
+
+use std::ops::Range;
+
+use rand::Rng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed; carries the formatted message.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject,
+}
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// FNV-1a hash of the test name, used to decorrelate per-test RNG streams.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Number of elements a collection strategy should produce.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::SeedableRng;
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {{
+        let __holds: bool = $cond;
+        if !__holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let __holds: bool = $cond;
+        if !__holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {{
+        let __holds: bool = $cond;
+        if !__holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    }};
+}
+
+/// The test-defining macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = <$crate::TestRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                let mut __passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(16).max(64);
+                while __passed < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __max_attempts {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} attempts for {} passes)",
+                            stringify!($name), __attempts, __passed
+                        );
+                    }
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    let __case_debug = format!(
+                        concat!($( stringify!($arg), " = {:?}; ", )+),
+                        $( &$arg ),+
+                    );
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => { __passed += 1; }
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed: {}\n  inputs: {}",
+                                stringify!($name), msg, __case_debug
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..9.5, n in 2usize..10) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((2..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            xs in prop::collection::vec(0.0f64..1.0, 2..8),
+            fixed in prop::collection::vec(0.0f64..1.0, 3),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 8);
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(xs.iter().all(|&v| (0.0..1.0).contains(&v)));
+        }
+
+        #[test]
+        fn assume_rejects_and_resamples(a in 0.0f64..1.0) {
+            prop_assume!(a > 0.1);
+            prop_assert!(a > 0.1);
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategy() {
+        let mut rng = <crate::TestRng as ::rand::SeedableRng>::seed_from_u64(9);
+        let strat = prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2..6), 1..5);
+        for _ in 0..50 {
+            let rows = strat.generate(&mut rng);
+            assert!(!rows.is_empty() && rows.len() < 5);
+            assert!(rows.iter().all(|r| r.len() >= 2 && r.len() < 6));
+        }
+    }
+}

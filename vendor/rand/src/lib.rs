@@ -1,0 +1,425 @@
+//! Minimal offline shim of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the narrow slice of `rand` it actually uses (see `vendor/README.md`):
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the core generator traits, with a
+//!   `seed_from_u64` that reproduces `rand_core` 0.6 exactly (PCG32 seed
+//!   expansion), so seeds recorded in EXPERIMENTS.md stay meaningful if the
+//!   shim is ever swapped for the real crate;
+//! * [`Rng`] — the extension trait: `gen`, `gen_range`, `gen_bool`, `sample`;
+//! * [`distributions`] — [`distributions::Standard`] for `f64`/`u64`/`u32`/
+//!   `bool` (the `f64` conversion is bit-identical to `rand` 0.8: 53 random
+//!   mantissa bits scaled into `[0, 1)`);
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! Integer `gen_range` uses Lemire's widening-multiply rejection method, so
+//! it is unbiased (though not bit-identical to `rand` 0.8's `Uniform`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with the same PCG32-based scheme as
+    /// `rand_core` 0.6, so `seed_from_u64(s)` produces the same generator
+    /// state as the real crates would.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            // Advance the state first, in case the input has low Hamming weight.
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Seed from another generator.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Result<Self, Error> {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Ok(Self::from_seed(seed))
+    }
+}
+
+/// Error type for fallible seeding (always succeeds in this shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A sampling distribution over `T`.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of each primitive type: uniform over all
+    /// values (integers, `bool`) or uniform on `[0, 1)` (floats).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Identical to rand 0.8: 53 mantissa bits scaled into [0, 1).
+            const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+            (rng.next_u64() >> 11) as f64 * SCALE
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+            (rng.next_u32() >> 8) as f32 * SCALE
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Unbiased uniform integer in `[0, range)` via Lemire's widening-multiply
+    /// rejection method. `range` must be nonzero.
+    pub(crate) fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        let mut m = (rng.next_u64() as u128) * (range as u128);
+        let mut lo = m as u64;
+        if lo < range {
+            let t = range.wrapping_neg() % range;
+            while lo < t {
+                m = (rng.next_u64() as u128) * (range as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+use distributions::{uniform_below, Distribution, Standard};
+
+/// A half-open or inclusive range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: f64 = Standard.sample(&mut RngRef(rng));
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                let v = v as $t;
+                // Guard against rounding up to the excluded endpoint. Since
+                // start < end, the largest float below end is always >= start.
+                if v >= self.end { self.end.next_down() } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u: f64 = Standard.sample(&mut RngRef(rng));
+                let v = (lo as f64 + u * (hi as f64 - lo as f64)) as $t;
+                v.min(hi)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Adapter so `SampleRange` impls can call `Distribution::sample` on a
+/// `&mut (dyn) RngCore`.
+struct RngRef<'a, R: RngCore + ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for RngRef<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        let u: f64 = self.gen();
+        u < p
+    }
+
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{distributions::uniform_below, Rng};
+
+    /// Slice extensions: in-place Fisher–Yates shuffle and random choice.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// `rand_core` compatibility alias: the real `rand` re-exports its core
+/// traits under `rand::rand_core` as well.
+pub mod rand_core {
+    pub use super::{Error, RngCore, SeedableRng};
+}
+
+pub mod rngs {
+    /// Mock generators for deterministic unit tests.
+    pub mod mock {
+        use crate::RngCore;
+
+        /// Arithmetic-progression generator, as in `rand` 0.8: yields
+        /// `initial`, `initial + increment`, ... from `next_u64`.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            pub fn new(initial: u64, increment: u64) -> Self {
+                Self {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                v
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let bytes = self.next_u64().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&b[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(11);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2u32..=4);
+            assert!((2..=4).contains(&y));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_gen_range_excludes_nonpositive_upper_endpoint() {
+        // Ranges so tight that rounding hits the excluded endpoint; the
+        // guard must step toward start, never produce NaN or >= end.
+        let mut rng = Counter(5);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-f64::EPSILON..0.0);
+            assert!(v.is_finite() && (-f64::EPSILON..0.0).contains(&v), "got {v}");
+            let w = rng.gen_range(-1.0000000000000002f64..-1.0);
+            assert!(w < -1.0, "got {w}");
+            let z = rng.gen_range(-2.0f64..=-1.0);
+            assert!((-2.0..=-1.0).contains(&z), "got {z}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<usize> = (0..50).collect();
+        let mut rng = Counter(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

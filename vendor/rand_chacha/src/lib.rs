@@ -1,0 +1,181 @@
+//! Minimal offline shim of `rand_chacha`: [`ChaCha8Rng`], a genuine ChaCha
+//! stream cipher with 8 rounds used as a deterministic, seedable RNG.
+//!
+//! The block function is the real RFC-8439 ChaCha quarter-round network (with
+//! 8 instead of 20 rounds, as in the upstream crate), so the generator has
+//! the statistical quality the simulators rely on. Stream layout details
+//! (word consumption order across `next_u32`/`next_u64`) are chosen for
+//! simplicity and are not guaranteed bit-identical to upstream
+//! `rand_chacha`; within this workspace everything is self-consistent and
+//! reproducible from the seed.
+
+pub use rand::rand_core;
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// "expand 32-byte k" — the ChaCha constant words.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 4 double-rounds (8 rounds) plus the feed-forward add.
+fn chacha8_block(input: &[u32; BLOCK_WORDS]) -> [u32; BLOCK_WORDS] {
+    let mut x = *input;
+    for _ in 0..4 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (out, inp) in x.iter_mut().zip(input) {
+        *out = out.wrapping_add(*inp);
+    }
+    x
+}
+
+/// A ChaCha RNG with 8 rounds, seeded from 32 bytes (or a `u64` via
+/// [`SeedableRng::seed_from_u64`]). 64-bit block counter + 64-bit stream id.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The cipher input block: constants, 8 key words, counter, stream id.
+    state: [u32; BLOCK_WORDS],
+    /// The current output block.
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word in `buf`; `BLOCK_WORDS` means "refill needed".
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.buf = chacha8_block(&self.state);
+        // Increment the 64-bit block counter (words 12..14).
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+
+    /// Select an independent stream (distinct keystreams for equal seeds).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.state[14] = stream as u32;
+        self.state[15] = (stream >> 32) as u32;
+        self.idx = BLOCK_WORDS; // discard any buffered output
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.state[14] as u64 | ((self.state[15] as u64) << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Words 12..16 (counter and stream id) start at zero.
+        Self {
+            state,
+            buf: [0; BLOCK_WORDS],
+            idx: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// RFC 8439 §2.3.2 test vector, adapted to 8 rounds by checking the
+    /// structural properties instead of the 20-round keystream: determinism,
+    /// seed sensitivity and counter advancement.
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn quarter_round_matches_rfc_vector() {
+        // RFC 8439 §2.1.1 quarter-round test vector.
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn streams_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_uniform_mean_is_half() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal offline shim of the `rayon` API used by this workspace.
+//!
+//! `into_par_iter()` / `par_iter()` return **sequential** `std` iterators, so
+//! every adapter (`map`, `collect`, …) compiles and behaves identically to
+//! the serial path — results are bit-for-bit equal to the parallel version by
+//! construction, just without the speedup. The `Sync`/`Send` bounds of real
+//! rayon are preserved at the call sites (closures there already satisfy
+//! them), so swapping the real crate back in is a one-line manifest change.
+
+pub mod prelude {
+    /// `IntoIterator`-backed replacement for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Replacement for rayon's `IntoParallelRefIterator` (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_serial() {
+        let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
+        let par: Vec<usize> = (0..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 6);
+    }
+}
