@@ -50,11 +50,20 @@ pub mod offspring {
         /// pairs; probabilities must sum to one and every vector must have
         /// the same length.
         pub fn new(outcomes: Vec<(Vec<usize>, f64)>) -> Self {
-            assert!(!outcomes.is_empty(), "offspring distribution needs at least one outcome");
+            assert!(
+                !outcomes.is_empty(),
+                "offspring distribution needs at least one outcome"
+            );
             let n = outcomes[0].0.len();
-            assert!(outcomes.iter().all(|(v, _)| v.len() == n), "inconsistent vector lengths");
+            assert!(
+                outcomes.iter().all(|(v, _)| v.len() == n),
+                "inconsistent vector lengths"
+            );
             let total: f64 = outcomes.iter().map(|(_, p)| *p).sum();
-            assert!((total - 1.0).abs() < 1e-8, "offspring probabilities sum to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-8,
+                "offspring probabilities sum to {total}"
+            );
             assert!(outcomes.iter().all(|(_, p)| *p >= -1e-12));
             Self { outcomes }
         }
@@ -133,7 +142,11 @@ impl BranchingBandit {
         assert_eq!(offspring.len(), n);
         assert!(holding_costs.iter().all(|c| c.is_finite() && *c >= 0.0));
         assert!(offspring.iter().all(|o| o.num_classes() == n));
-        let bandit = Self { services, holding_costs, offspring };
+        let bandit = Self {
+            services,
+            holding_costs,
+            offspring,
+        };
         // Subcriticality check: the expected total progeny of every class
         // must be finite and nonnegative.
         let total = bandit.expected_total_progeny();
@@ -249,8 +262,9 @@ impl WorkMeasure for BranchingWorkMeasure<'_> {
 
     fn work(&self, class: usize, continuation: &[bool]) -> f64 {
         assert!(continuation[class]);
-        let members: Vec<usize> =
-            (0..self.bandit.num_classes()).filter(|&j| continuation[j]).collect();
+        let members: Vec<usize> = (0..self.bandit.num_classes())
+            .filter(|&j| continuation[j])
+            .collect();
         let t = self.solve_restricted(continuation, |cls| self.bandit.mean_service(cls));
         t[members.iter().position(|&x| x == class).unwrap()]
     }
@@ -281,7 +295,10 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
                 piv = r;
             }
         }
-        assert!(a[piv][col].abs() > 1e-12, "singular system (offspring matrix critical?)");
+        assert!(
+            a[piv][col].abs() > 1e-12,
+            "singular system (offspring matrix critical?)"
+        );
         a.swap(col, piv);
         b.swap(col, piv);
         for r in col + 1..n {
@@ -353,8 +370,9 @@ pub fn simulate_branching<R: Rng>(
         );
         let service = bandit.services[class].sample(rng);
         // Holding cost accrued during this service by everything present.
-        let present_cost_rate: f64 =
-            (0..n).map(|j| bandit.holding_costs[j] * counts[j] as f64).sum();
+        let present_cost_rate: f64 = (0..n)
+            .map(|j| bandit.holding_costs[j] * counts[j] as f64)
+            .sum();
         total_cost += present_cost_rate * service;
         clock += service;
         services += 1;
@@ -365,7 +383,11 @@ pub fn simulate_branching<R: Rng>(
         }
     }
 
-    BranchingSimResult { total_holding_cost: total_cost, extinction_time: clock, services }
+    BranchingSimResult {
+        total_holding_cost: total_cost,
+        extinction_time: clock,
+        services,
+    }
 }
 
 /// Estimate the expected total holding cost of a priority order by
@@ -384,6 +406,26 @@ pub fn estimate_order_cost<R: Rng>(
         stats.push(res.total_holding_cost);
     }
     (stats.mean(), stats.ci_half_width(0.95))
+}
+
+/// Parallel counterpart of [`estimate_order_cost`]: replications fan out
+/// over the workspace thread pool, each drawing from its own RNG stream
+/// derived from `seed`, so the estimate is reproducible for any thread
+/// count.  (The draws differ from the serial variant, which threads one RNG
+/// through all replications — both are unbiased estimates of the same
+/// expectation.)
+pub fn estimate_order_cost_parallel(
+    bandit: &BranchingBandit,
+    initial: &[usize],
+    priority_order: &[usize],
+    replications: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(replications > 1);
+    let summary = ss_sim::replication::run_replications_parallel(replications, seed, |_i, rng| {
+        simulate_branching(bandit, initial, priority_order, 10_000_000, rng).total_holding_cost
+    });
+    (summary.mean, summary.ci95)
 }
 
 #[cfg(test)]
@@ -470,7 +512,11 @@ mod tests {
         // the top class: class 2 has no feedback, so its index is c/ES.
         let bandit = feedback_bandit();
         let result = bandit.indices();
-        assert!((result.indices[2] - 4.0 / 1.2).abs() < 1e-9, "{:?}", result.indices);
+        assert!(
+            (result.indices[2] - 4.0 / 1.2).abs() < 1e-9,
+            "{:?}",
+            result.indices
+        );
         // Class 2 has the largest ratio and is assigned first.
         assert_eq!(result.order[0], 2);
         assert!(result.rates_non_increasing(1e-9));
@@ -510,6 +556,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_estimate_agrees_with_closed_form_and_is_reproducible() {
+        let bandit = batch_bandit();
+        let order = vec![1usize, 2, 0];
+        let means = [2.0, 0.5, 1.5];
+        let weights = [1.0, 3.0, 2.0];
+        let mut acc = 0.0;
+        let mut closed_form = 0.0;
+        for &j in &order {
+            acc += means[j];
+            closed_form += weights[j] * acc;
+        }
+        let (mean, ci) = estimate_order_cost_parallel(&bandit, &[1, 1, 1], &order, 20_000, 42);
+        assert!(
+            (mean - closed_form).abs() < 4.0 * ci.max(0.05),
+            "simulated {mean} ± {ci} vs closed form {closed_form}"
+        );
+        // Bit-for-bit reproducible, independently of the thread count.
+        for threads in [1usize, 4] {
+            let (m2, c2) = ss_sim::pool::with_threads(threads, || {
+                estimate_order_cost_parallel(&bandit, &[1, 1, 1], &order, 20_000, 42)
+            });
+            assert_eq!(mean.to_bits(), m2.to_bits());
+            assert_eq!(ci.to_bits(), c2.to_bits());
+        }
+    }
+
+    #[test]
     fn index_order_is_best_among_all_static_orders() {
         let bandit = branching_bandit();
         let initial = [2usize, 2, 1];
@@ -529,7 +602,10 @@ mod tests {
         }
         let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let index_order = bandit.index_order();
-        let pos = orders.iter().position(|o| *o == index_order).expect("index order is a permutation");
+        let pos = orders
+            .iter()
+            .position(|o| *o == index_order)
+            .expect("index order is a permutation");
         assert!(
             costs[pos] <= best * 1.03,
             "index order {index_order:?} cost {} vs best {best} (all: {costs:?})",
@@ -560,7 +636,10 @@ mod tests {
     #[test]
     fn zero_holding_costs_cost_nothing_and_index_to_zero() {
         let bandit = BranchingBandit::new(
-            vec![dyn_dist(Exponential::with_mean(1.0)), dyn_dist(Exponential::with_mean(0.5))],
+            vec![
+                dyn_dist(Exponential::with_mean(1.0)),
+                dyn_dist(Exponential::with_mean(0.5)),
+            ],
             vec![0.0, 0.0],
             vec![OffspringDist::feedback(2, 1, 0.5), OffspringDist::none(2)],
         );

@@ -58,7 +58,10 @@ impl MultiArmedBandit {
     /// Build the joint MDP (action `a` = engage project `a`).
     pub fn joint_mdp(&self) -> Mdp {
         let n_states = self.joint_state_count();
-        assert!(n_states <= 200_000, "joint state space too large for the exact DP");
+        assert!(
+            n_states <= 200_000,
+            "joint state space too large for the exact DP"
+        );
         let mut builder = MdpBuilder::new(n_states);
         for joint in 0..n_states {
             let states = self.decode(joint);
@@ -85,7 +88,11 @@ impl MultiArmedBandit {
         let mdp = self.joint_mdp();
         let sol = value_iteration(
             &mdp,
-            &ValueIterationOptions { discount: self.discount, tolerance: 1e-10, max_iterations: 500_000 },
+            &ValueIterationOptions {
+                discount: self.discount,
+                tolerance: 1e-10,
+                max_iterations: 500_000,
+            },
         );
         sol.values[self.encode(initial_states)]
     }
@@ -159,7 +166,11 @@ mod tests {
     fn encode_decode_round_trip() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mab = MultiArmedBandit::new(
-            vec![random_project(3, &mut rng), random_project(4, &mut rng), random_project(2, &mut rng)],
+            vec![
+                random_project(3, &mut rng),
+                random_project(4, &mut rng),
+                random_project(2, &mut rng),
+            ],
             0.9,
         );
         assert_eq!(mab.joint_state_count(), 24);
@@ -174,8 +185,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         for trial in 0..6 {
             let n_projects = 2 + trial % 2;
-            let projects: Vec<BanditProject> =
-                (0..n_projects).map(|_| random_project(3 + trial % 3, &mut rng)).collect();
+            let projects: Vec<BanditProject> = (0..n_projects)
+                .map(|_| random_project(3 + trial % 3, &mut rng))
+                .collect();
             let mab = MultiArmedBandit::new(projects, 0.9);
             let init = vec![0usize; mab.projects.len()];
             let opt = mab.optimal_value(&init);
@@ -193,17 +205,17 @@ mod tests {
         // reward but leads to a jackpot state.  Myopic never touches B;
         // Gittins does when beta is large.
         let a = BanditProject::new(vec![0.4], vec![vec![(0, 1.0)]]);
-        let b = BanditProject::new(
-            vec![0.0, 1.0],
-            vec![vec![(1, 1.0)], vec![(1, 1.0)]],
-        );
+        let b = BanditProject::new(vec![0.0, 1.0], vec![vec![(1, 1.0)], vec![(1, 1.0)]]);
         let mab = MultiArmedBandit::new(vec![a, b], 0.95);
         let init = [0usize, 0];
         let opt = mab.optimal_value(&init);
         let git = mab.gittins_policy_value(&init);
         let myopic = mab.myopic_policy_value(&init);
         assert!((opt - git).abs() < 1e-6);
-        assert!(git > myopic + 1.0, "Gittins {git} should clearly beat myopic {myopic}");
+        assert!(
+            git > myopic + 1.0,
+            "Gittins {git} should clearly beat myopic {myopic}"
+        );
     }
 
     #[test]

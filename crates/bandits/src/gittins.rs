@@ -33,7 +33,10 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
                 piv = r;
             }
         }
-        assert!(a[piv][col].abs() > 1e-12, "singular system in Gittins computation");
+        assert!(
+            a[piv][col].abs() > 1e-12,
+            "singular system in Gittins computation"
+        );
         a.swap(col, piv);
         b.swap(col, piv);
         for r in col + 1..n {
@@ -169,8 +172,16 @@ pub fn gittins_indices_calibration(project: &BanditProject, discount: f64) -> Ve
     assert!((0.0..1.0).contains(&discount));
     let k = project.num_states();
     let beta = discount;
-    let r_max = project.rewards().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let r_min = project.rewards().iter().cloned().fold(f64::INFINITY, f64::min);
+    let r_max = project
+        .rewards()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let r_min = project
+        .rewards()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
 
     let continues_at = |state: usize, m_retire: f64| -> bool {
         // Does the optimal policy prefer continuing over retiring at `state`
@@ -213,7 +224,10 @@ mod tests {
     fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})\n a={a:?}\n b={b:?}");
+            assert!(
+                (x - y).abs() < tol,
+                "{x} vs {y} (tol {tol})\n a={a:?}\n b={b:?}"
+            );
         }
     }
 
@@ -254,10 +268,7 @@ mod tests {
         // State 0 pays nothing but leads to the absorbing jackpot state 1
         // (reward 1).  Its Gittins index must exceed its immediate reward 0
         // and approach 1 as beta -> 1 (the future dominates the ratio).
-        let p = BanditProject::new(
-            vec![0.0, 1.0],
-            vec![vec![(1, 1.0)], vec![(1, 1.0)]],
-        );
+        let p = BanditProject::new(vec![0.0, 1.0], vec![vec![(1, 1.0)], vec![(1, 1.0)]]);
         let idx_low = gittins_indices_vwb(&p, 0.5)[0];
         let idx_high = gittins_indices_vwb(&p, 0.99)[0];
         assert!(idx_low > 0.0);
@@ -290,7 +301,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let p = random_project(6, &mut rng);
         let idx = gittins_indices_vwb(&p, 0.95);
-        let r_max = p.rewards().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let r_max = p
+            .rewards()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let r_min = p.rewards().iter().cloned().fold(f64::INFINITY, f64::min);
         for &g in &idx {
             assert!(g <= r_max + 1e-9 && g >= r_min - 1e-9);

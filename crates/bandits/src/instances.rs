@@ -14,7 +14,11 @@ pub fn random_project<R: Rng + ?Sized>(k: usize, rng: &mut R) -> BanditProject {
         .map(|_| {
             let weights: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() + 1e-3).collect();
             let total: f64 = weights.iter().sum();
-            weights.iter().enumerate().map(|(j, w)| (j, w / total)).collect()
+            weights
+                .iter()
+                .enumerate()
+                .map(|(j, w)| (j, w / total))
+                .collect()
         })
         .collect();
     BanditProject::new(rewards, transitions)
@@ -84,7 +88,12 @@ pub fn maintenance_project(
         })
         .collect();
 
-    RestlessProject::new(active_rewards, active_transitions, passive_rewards, passive_transitions)
+    RestlessProject::new(
+        active_rewards,
+        active_transitions,
+        passive_rewards,
+        passive_transitions,
+    )
 }
 
 /// A Bayesian Bernoulli-sampling project — the "sequential design of
@@ -125,8 +134,16 @@ pub fn bernoulli_sampling_project(depth: usize, alpha0: f64, beta0: f64) -> Band
             let idx = interior_index(s, f);
             let p = posterior_mean(s, f);
             rewards[idx] = p;
-            let succ = if n + 1 < depth { interior_index(s + 1, f) } else { boundary_index(f) };
-            let fail = if n + 1 < depth { interior_index(s, f + 1) } else { boundary_index(f + 1) };
+            let succ = if n + 1 < depth {
+                interior_index(s + 1, f)
+            } else {
+                boundary_index(f)
+            };
+            let fail = if n + 1 < depth {
+                interior_index(s, f + 1)
+            } else {
+                boundary_index(f + 1)
+            };
             transitions[idx] = vec![(succ, p), (fail, 1.0 - p)];
         }
     }
@@ -142,7 +159,10 @@ pub fn bernoulli_sampling_project(depth: usize, alpha0: f64, beta0: f64) -> Band
 /// Index of the posterior `(successes, failures)` in the state space of
 /// [`bernoulli_sampling_project`] (requires `successes + failures < depth`).
 pub fn bernoulli_state_index(successes: usize, failures: usize, depth: usize) -> usize {
-    assert!(successes + failures < depth, "posterior lies beyond the truncation depth");
+    assert!(
+        successes + failures < depth,
+        "posterior lies beyond the truncation depth"
+    );
     let n = successes + failures;
     n * (n + 1) / 2 + failures
 }
@@ -153,13 +173,22 @@ pub fn random_restless_project<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Restle
     let row = |rng: &mut R| -> Vec<(usize, f64)> {
         let weights: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() + 1e-3).collect();
         let total: f64 = weights.iter().sum();
-        weights.iter().enumerate().map(|(j, w)| (j, w / total)).collect()
+        weights
+            .iter()
+            .enumerate()
+            .map(|(j, w)| (j, w / total))
+            .collect()
     };
     let active_rewards: Vec<f64> = (0..k).map(|_| rng.gen::<f64>()).collect();
     let passive_rewards: Vec<f64> = (0..k).map(|_| 0.5 * rng.gen::<f64>()).collect();
     let active_transitions: Vec<Vec<(usize, f64)>> = (0..k).map(|_| row(rng)).collect();
     let passive_transitions: Vec<Vec<(usize, f64)>> = (0..k).map(|_| row(rng)).collect();
-    RestlessProject::new(active_rewards, active_transitions, passive_rewards, passive_transitions)
+    RestlessProject::new(
+        active_rewards,
+        active_transitions,
+        passive_rewards,
+        passive_transitions,
+    )
 }
 
 #[cfg(test)]
@@ -195,7 +224,9 @@ mod tests {
         assert_eq!(p.num_states(), 5);
         // Active in a worn state mostly resets to 0.
         let active = p.active_transitions(4);
-        assert!(active.iter().any(|&(j, q)| j == 0 && (q - 0.9).abs() < 1e-12));
+        assert!(active
+            .iter()
+            .any(|&(j, q)| j == 0 && (q - 0.9).abs() < 1e-12));
         // Passive production falls with wear.
         assert!(p.passive_reward(0) > p.passive_reward(4));
     }
@@ -226,7 +257,10 @@ mod tests {
         // The index always dominates the myopic posterior mean...
         let fresh = bernoulli_state_index(0, 0, depth);
         assert!(idx[fresh] >= p.reward(fresh) - 1e-9);
-        assert!(idx[fresh] > 0.5 + 1e-3, "a fresh arm carries an exploration bonus");
+        assert!(
+            idx[fresh] > 0.5 + 1e-3,
+            "a fresh arm carries an exploration bonus"
+        );
         // ...and, at equal posterior mean, the less-sampled arm has the
         // larger index: (1 success, 1 failure) vs (3 successes, 3 failures).
         let lightly_sampled = bernoulli_state_index(1, 1, depth);

@@ -70,13 +70,20 @@ pub fn active_set_rates(project: &RestlessProject, active_set: &[bool]) -> Activ
     let mut reward_rate = 0.0;
     let mut work_rate = 0.0;
     for i in 0..k {
-        let r = if active_set[i] { project.active_reward(i) } else { project.passive_reward(i) };
+        let r = if active_set[i] {
+            project.active_reward(i)
+        } else {
+            project.passive_reward(i)
+        };
         reward_rate += pi[i] * r;
         if active_set[i] {
             work_rate += pi[i];
         }
     }
-    ActiveSetRates { reward_rate, work_rate }
+    ActiveSetRates {
+        reward_rate,
+        work_rate,
+    }
 }
 
 /// Output of the adaptive-greedy MPI computation.
@@ -103,10 +110,7 @@ pub struct MpiResult {
 /// `work_tolerance` guards the division: a marginal work smaller than this
 /// (in absolute value) marks the project as not PCL-indexable and the
 /// affected index is computed against the tolerance instead.
-pub fn marginal_productivity_indices(
-    project: &RestlessProject,
-    work_tolerance: f64,
-) -> MpiResult {
+pub fn marginal_productivity_indices(project: &RestlessProject, work_tolerance: f64) -> MpiResult {
     let k = project.num_states();
     assert!(work_tolerance > 0.0);
     let mut active = vec![false; k];
@@ -155,7 +159,13 @@ pub fn marginal_productivity_indices(
         pcl_indexable = false;
     }
 
-    MpiResult { indices, assignment_order, marginal_rates, marginal_work, pcl_indexable }
+    MpiResult {
+        indices,
+        assignment_order,
+        marginal_rates,
+        marginal_work,
+        pcl_indexable,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +206,10 @@ mod tests {
     fn maintenance_project_is_pcl_indexable() {
         let p = maint();
         let mpi = marginal_productivity_indices(&p, 1e-9);
-        assert!(mpi.pcl_indexable, "maintenance project should be PCL-indexable: {mpi:?}");
+        assert!(
+            mpi.pcl_indexable,
+            "maintenance project should be PCL-indexable: {mpi:?}"
+        );
         assert!(mpi.marginal_work.iter().all(|&w| w > 0.0));
         // Marginal rates non-increasing by construction of the certificate.
         for w in mpi.marginal_rates.windows(2) {

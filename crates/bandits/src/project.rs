@@ -25,7 +25,10 @@ impl BanditProject {
                 assert!(p >= -1e-12, "negative probability");
             }
         }
-        Self { rewards, transitions }
+        Self {
+            rewards,
+            transitions,
+        }
     }
 
     /// Number of states.

@@ -69,7 +69,12 @@ impl RestlessProject {
         };
         check(&active_transitions);
         check(&passive_transitions);
-        Self { active_rewards, active_transitions, passive_rewards, passive_transitions }
+        Self {
+            active_rewards,
+            active_transitions,
+            passive_rewards,
+            passive_transitions,
+        }
     }
 
     /// Number of states.
@@ -99,7 +104,11 @@ impl RestlessProject {
 
     /// Sample the next state given the current state and chosen action.
     pub fn sample_next<R: Rng + ?Sized>(&self, i: usize, active: bool, rng: &mut R) -> usize {
-        let row = if active { &self.active_transitions[i] } else { &self.passive_transitions[i] };
+        let row = if active {
+            &self.active_transitions[i]
+        } else {
+            &self.passive_transitions[i]
+        };
         let u: f64 = rng.gen();
         let mut acc = 0.0;
         for &(j, p) in row {
@@ -113,10 +122,26 @@ impl RestlessProject {
 
     /// Bounds within which every Whittle index must lie (reward spread).
     fn subsidy_bounds(&self) -> (f64, f64) {
-        let max_a = self.active_rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min_a = self.active_rewards.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max_p = self.passive_rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min_p = self.passive_rewards.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_a = self
+            .active_rewards
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_a = self
+            .active_rewards
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max_p = self
+            .passive_rewards
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_p = self
+            .passive_rewards
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let spread = (max_a - min_p).abs().max((max_p - min_a).abs()).max(1.0);
         (-4.0 * spread, 4.0 * spread)
     }
@@ -129,7 +154,11 @@ pub fn subsidy_policy(project: &RestlessProject, subsidy: f64) -> Vec<bool> {
     let mut builder = MdpBuilder::new(k);
     for i in 0..k {
         // Action 0: active.
-        builder.add_action(i, project.active_reward(i), project.active_transitions(i).to_vec());
+        builder.add_action(
+            i,
+            project.active_reward(i),
+            project.active_transitions(i).to_vec(),
+        );
         // Action 1: passive (+ subsidy).
         builder.add_action(
             i,
@@ -227,7 +256,12 @@ pub fn whittle_relaxation_bound(projects: &[RestlessProject], m: usize) -> f64 {
         total_vars += 2 * p.num_states();
     }
     let idx = |n: usize, i: usize, active: bool, projects: &[RestlessProject]| -> usize {
-        var_offset[n] + if active { i } else { projects[n].num_states() + i }
+        var_offset[n]
+            + if active {
+                i
+            } else {
+                projects[n].num_states() + i
+            }
     };
 
     // Objective: maximise total expected reward rate.
@@ -278,7 +312,9 @@ pub fn whittle_relaxation_bound(projects: &[RestlessProject], m: usize) -> f64 {
     }
     lp.add_constraint(row, Relation::Eq, m as f64);
 
-    lp.solve().expect("relaxation LP must be feasible").objective
+    lp.solve()
+        .expect("relaxation LP must be feasible")
+        .objective
 }
 
 /// Relaxation bound per project for `N` identical copies of `project` with
@@ -288,7 +324,13 @@ pub fn whittle_relaxation_bound(projects: &[RestlessProject], m: usize) -> f64 {
 pub fn relaxation_bound_identical(project: &RestlessProject, alpha: f64) -> f64 {
     assert!((0.0..=1.0).contains(&alpha));
     let k = project.num_states();
-    let idx = |i: usize, active: bool| -> usize { if active { i } else { k + i } };
+    let idx = |i: usize, active: bool| -> usize {
+        if active {
+            i
+        } else {
+            k + i
+        }
+    };
     let mut objective = vec![0.0; 2 * k];
     for i in 0..k {
         objective[idx(i, true)] = project.active_reward(i);
@@ -324,7 +366,9 @@ pub fn relaxation_bound_identical(project: &RestlessProject, alpha: f64) -> f64 
         coupling[idx(i, true)] = 1.0;
     }
     lp.add_constraint(coupling, Relation::Eq, alpha);
-    lp.solve().expect("identical-project relaxation LP must be feasible").objective
+    lp.solve()
+        .expect("identical-project relaxation LP must be feasible")
+        .objective
 }
 
 /// Priority indices extracted from the relaxed solution: the activity share
@@ -333,7 +377,13 @@ pub fn relaxation_bound_identical(project: &RestlessProject, alpha: f64) -> f64 
 /// of the Bertsimas–Niño-Mora primal-dual index.
 pub fn lp_priority_indices(project: &RestlessProject, alpha: f64) -> Vec<f64> {
     let k = project.num_states();
-    let idx = |i: usize, active: bool| -> usize { if active { i } else { k + i } };
+    let idx = |i: usize, active: bool| -> usize {
+        if active {
+            i
+        } else {
+            k + i
+        }
+    };
     let mut objective = vec![0.0; 2 * k];
     for i in 0..k {
         objective[idx(i, true)] = project.active_reward(i);
@@ -503,9 +553,15 @@ mod tests {
     fn extreme_subsidies_pin_the_policy() {
         let p = maint();
         let all_passive = subsidy_policy(&p, 1e5);
-        assert!(all_passive.iter().all(|&x| x), "huge subsidy must make every state passive");
+        assert!(
+            all_passive.iter().all(|&x| x),
+            "huge subsidy must make every state passive"
+        );
         let all_active = subsidy_policy(&p, -1e5);
-        assert!(all_active.iter().all(|&x| !x), "hugely negative subsidy must make every state active");
+        assert!(
+            all_active.iter().all(|&x| !x),
+            "hugely negative subsidy must make every state active"
+        );
         // The expanded bounds bracket both regimes.
         let (lo, hi) = expanded_subsidy_bounds(&p);
         assert!(subsidy_policy(&p, hi).iter().all(|&x| x));
@@ -521,9 +577,15 @@ mod tests {
         // the Whittle index should (weakly) increase with the wear level,
         // except possibly at level 0 where repairing is pointless.
         for w in idx.windows(2).skip(1) {
-            assert!(w[1] >= w[0] - 1e-6, "indices should increase with wear: {idx:?}");
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "indices should increase with wear: {idx:?}"
+            );
         }
-        assert!(idx[4] > idx[1], "badly worn machines deserve repair priority: {idx:?}");
+        assert!(
+            idx[4] > idx[1],
+            "badly worn machines deserve repair priority: {idx:?}"
+        );
     }
 
     #[test]
@@ -534,7 +596,10 @@ mod tests {
         let projects: Vec<RestlessProject> = (0..n).map(|_| p.clone()).collect();
         let bound = whittle_relaxation_bound(&projects, m);
         let bound_identical = n as f64 * relaxation_bound_identical(&p, m as f64 / n as f64);
-        assert!((bound - bound_identical).abs() < 1e-6, "{bound} vs {bound_identical}");
+        assert!(
+            (bound - bound_identical).abs() < 1e-6,
+            "{bound} vs {bound_identical}"
+        );
 
         let indices = whittle_indices(&p);
         let policy = RestlessPolicy::WhittleIndex(vec![indices; n]);
@@ -580,7 +645,11 @@ mod tests {
             "gap should shrink with N: {:?}",
             points
         );
-        assert!(points[1].relative_gap < 0.1, "large-N gap should be small: {:?}", points[1]);
+        assert!(
+            points[1].relative_gap < 0.1,
+            "large-N gap should be small: {:?}",
+            points[1]
+        );
     }
 
     #[test]
@@ -593,8 +662,14 @@ mod tests {
         // larger activity share than level 0.  (Deeply worn levels may be
         // unreachable under the relaxed solution and then carry index 0 —
         // the known blind spot of purely primal occupancy indices.)
-        assert!(idx[0] < 0.5, "fresh machines should rarely be repaired: {idx:?}");
+        assert!(
+            idx[0] < 0.5,
+            "fresh machines should rarely be repaired: {idx:?}"
+        );
         let max_worn = idx[1..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max_worn > idx[0], "worn machines should be repaired more often: {idx:?}");
+        assert!(
+            max_worn > idx[0],
+            "worn machines should be repaired more often: {idx:?}"
+        );
     }
 }

@@ -60,7 +60,9 @@ pub struct MyopicRule {
 impl MyopicRule {
     /// Capture the reward tables of `mab`.
     pub fn new(mab: &MultiArmedBandit) -> Self {
-        Self { rewards: mab.projects.iter().map(|p| p.rewards().to_vec()).collect() }
+        Self {
+            rewards: mab.projects.iter().map(|p| p.rewards().to_vec()).collect(),
+        }
     }
 }
 
@@ -92,7 +94,10 @@ pub struct RoundRobinRule {
 impl RoundRobinRule {
     /// Create for `num_projects` projects.
     pub fn new(num_projects: usize) -> Self {
-        Self { counter: std::cell::Cell::new(0), num_projects }
+        Self {
+            counter: std::cell::Cell::new(0),
+            num_projects,
+        }
     }
 }
 

@@ -35,7 +35,10 @@ impl SwitchingBandit {
     /// Create an instance.
     pub fn new(bandit: MultiArmedBandit, switch_cost: f64) -> Self {
         assert!(switch_cost >= 0.0);
-        Self { bandit, switch_cost }
+        Self {
+            bandit,
+            switch_cost,
+        }
     }
 
     /// Joint-state count including the "previously engaged" component
@@ -94,7 +97,10 @@ impl SwitchingBandit {
                 max_iterations: 500_000,
             },
         );
-        sol.values[self.encode(self.bandit.encode(initial_states), self.bandit.projects.len())]
+        sol.values[self.encode(
+            self.bandit.encode(initial_states),
+            self.bandit.projects.len(),
+        )]
     }
 
     /// Value of an index-with-hysteresis policy: switch away from the
@@ -168,12 +174,7 @@ mod tests {
         // Two identical two-state projects whose rewards alternate between
         // high and low as they are played; with zero switching cost the
         // Gittins rule ping-pongs between them every period.
-        let p = || {
-            BanditProject::new(
-                vec![1.0, 0.3],
-                vec![vec![(1, 1.0)], vec![(0, 1.0)]],
-            )
-        };
+        let p = || BanditProject::new(vec![1.0, 0.3], vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
         MultiArmedBandit::new(vec![p(), p()], 0.9)
     }
 
@@ -197,8 +198,14 @@ mod tests {
         let opt = sb.optimal_value(&init);
         let git = sb.gittins_value(&init);
         let hyst = sb.amortised_hysteresis_value(&init);
-        assert!(git < opt - 0.5, "Gittins {git} should be clearly below optimal {opt}");
-        assert!(hyst > git, "hysteresis {hyst} should improve on Gittins {git}");
+        assert!(
+            git < opt - 0.5,
+            "Gittins {git} should be clearly below optimal {opt}"
+        );
+        assert!(
+            hyst > git,
+            "hysteresis {hyst} should improve on Gittins {git}"
+        );
         assert!(hyst <= opt + 1e-9);
     }
 

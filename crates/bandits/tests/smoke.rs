@@ -19,6 +19,9 @@ fn gittins_smoke() {
     let indices = gittins_indices_vwb(&project, 0.9);
     assert_eq!(indices.len(), 3);
     for (s, &g) in indices.iter().enumerate() {
-        assert!((g - r).abs() < 1e-9, "state {s}: Gittins {g} vs constant reward {r}");
+        assert!(
+            (g - r).abs() < 1e-9,
+            "state {s}: Gittins {g} vs constant reward {r}"
+        );
     }
 }

@@ -34,7 +34,10 @@ impl ExpParallelInstance {
     pub fn unweighted(rates: Vec<f64>) -> Self {
         assert!(!rates.is_empty() && rates.iter().all(|&r| r > 0.0));
         let n = rates.len();
-        Self { rates, weights: vec![1.0; n] }
+        Self {
+            rates,
+            weights: vec![1.0; n],
+        }
     }
 
     /// Create a weighted instance.
@@ -140,7 +143,13 @@ fn k_subsets_of(mask: u32, k: usize) -> Vec<Vec<usize>> {
     let bits: Vec<usize> = (0..32).filter(|&i| mask & (1 << i) != 0).collect();
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn rec(bits: &[usize], k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        bits: &[usize],
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -321,9 +330,14 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(123);
         let reps = 60_000;
         let mc: f64 = (0..reps)
-            .map(|_| crate::parallel::simulate_list_schedule(&batch, &order, 2, &mut rng).total_flowtime)
+            .map(|_| {
+                crate::parallel::simulate_list_schedule(&batch, &order, 2, &mut rng).total_flowtime
+            })
             .sum::<f64>()
             / reps as f64;
-        assert!((mc - exact).abs() / exact < 0.02, "MC {mc} vs exact {exact}");
+        assert!(
+            (mc - exact).abs() / exact < 0.02,
+            "MC {mc} vs exact {exact}"
+        );
     }
 }

@@ -31,7 +31,10 @@ impl FlowShopInstance {
         assert!(!stage_dists.is_empty(), "need at least one job");
         let stages = stage_dists[0].len();
         assert!(stages >= 1, "need at least one stage");
-        assert!(stage_dists.iter().all(|row| row.len() == stages), "ragged stage matrix");
+        assert!(
+            stage_dists.iter().all(|row| row.len() == stages),
+            "ragged stage matrix"
+        );
         Self { stage_dists }
     }
 
@@ -116,14 +119,22 @@ pub fn talwar_order(rates_stage1: &[f64], rates_stage2: &[f64]) -> Vec<usize> {
 /// `E[p_{i,1}] < E[p_{i,2}]`, sorted ascending by `E[p_{i,1}]`; the rest go
 /// late sorted descending by `E[p_{i,2}]`.
 pub fn johnson_order_on_means(instance: &FlowShopInstance) -> Vec<usize> {
-    assert_eq!(instance.num_stages(), 2, "Johnson's rule applies to 2-machine shops");
+    assert_eq!(
+        instance.num_stages(),
+        2,
+        "Johnson's rule applies to 2-machine shops"
+    );
     let means: Vec<(f64, f64)> = instance
         .stage_dists
         .iter()
         .map(|row| (row[0].mean(), row[1].mean()))
         .collect();
-    let mut early: Vec<usize> = (0..means.len()).filter(|&i| means[i].0 <= means[i].1).collect();
-    let mut late: Vec<usize> = (0..means.len()).filter(|&i| means[i].0 > means[i].1).collect();
+    let mut early: Vec<usize> = (0..means.len())
+        .filter(|&i| means[i].0 <= means[i].1)
+        .collect();
+    let mut late: Vec<usize> = (0..means.len())
+        .filter(|&i| means[i].0 > means[i].1)
+        .collect();
     early.sort_by(|&a, &b| means[a].0.partial_cmp(&means[b].0).unwrap());
     late.sort_by(|&a, &b| means[b].1.partial_cmp(&means[a].1).unwrap());
     early.extend(late);
@@ -195,8 +206,14 @@ mod tests {
     fn det_shop() -> FlowShopInstance {
         // Two jobs, two machines, deterministic: p = [[3, 2], [1, 4]].
         FlowShopInstance::new(vec![
-            vec![dyn_dist(Deterministic::new(3.0)), dyn_dist(Deterministic::new(2.0))],
-            vec![dyn_dist(Deterministic::new(1.0)), dyn_dist(Deterministic::new(4.0))],
+            vec![
+                dyn_dist(Deterministic::new(3.0)),
+                dyn_dist(Deterministic::new(2.0)),
+            ],
+            vec![
+                dyn_dist(Deterministic::new(1.0)),
+                dyn_dist(Deterministic::new(4.0)),
+            ],
         ])
     }
 
@@ -240,7 +257,12 @@ mod tests {
         let r1 = [2.0, 0.8, 1.5, 3.0, 1.0];
         let r2 = [1.0, 2.0, 1.2, 0.7, 2.5];
         let jobs: Vec<Vec<DynDist>> = (0..5)
-            .map(|i| vec![dyn_dist(Exponential::new(r1[i])), dyn_dist(Exponential::new(r2[i]))])
+            .map(|i| {
+                vec![
+                    dyn_dist(Exponential::new(r1[i])),
+                    dyn_dist(Exponential::new(r2[i])),
+                ]
+            })
             .collect();
         let shop = FlowShopInstance::new(jobs);
         let mut rng = ChaCha8Rng::seed_from_u64(99);

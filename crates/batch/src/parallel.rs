@@ -8,8 +8,11 @@
 //! distributions by simulation.
 
 use rand::RngCore;
+use rayon::prelude::*;
 use ss_core::instance::BatchInstance;
-use ss_sim::replication::{run_replications_parallel, ReplicationSummary};
+use ss_sim::replication::{
+    run_replications_chunked, run_replications_parallel, ChunkedReplications, ReplicationSummary,
+};
 
 /// Realised performance of one simulated schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +56,11 @@ pub fn simulate_list_schedule(
         weighted_flowtime += jobs[idx].weight * completion;
         makespan = makespan.max(completion);
     }
-    ScheduleOutcome { total_flowtime, weighted_flowtime, makespan }
+    ScheduleOutcome {
+        total_flowtime,
+        weighted_flowtime,
+        makespan,
+    }
 }
 
 /// Which statistic of the schedule to aggregate over replications.
@@ -68,7 +75,8 @@ pub enum ParallelMetric {
 }
 
 /// Estimate the chosen metric of a static list by independent replications
-/// (parallelised with Rayon; reproducible from `seed`).
+/// (parallelised over the workspace thread pool; reproducible from `seed`
+/// for any thread count).
 pub fn evaluate_list_policy(
     instance: &BatchInstance,
     order: &[usize],
@@ -78,6 +86,54 @@ pub fn evaluate_list_policy(
     seed: u64,
 ) -> ReplicationSummary {
     run_replications_parallel(replications, seed, |_rep, rng| {
+        let out = simulate_list_schedule(instance, order, machines, rng);
+        match metric {
+            ParallelMetric::TotalFlowtime => out.total_flowtime,
+            ParallelMetric::WeightedFlowtime => out.weighted_flowtime,
+            ParallelMetric::Makespan => out.makespan,
+        }
+    })
+}
+
+/// Evaluate several candidate lists at once, one summary per list, fanning
+/// the lists out across the pool.
+///
+/// Each list's inner replication loop runs serially on the worker that
+/// claimed it (nested parallel calls fall back to serial), so concurrency
+/// is capped at `orders.len()` — the right shape when comparing many
+/// policies; to parallelize *within* a single policy's replications, call
+/// [`evaluate_list_policy`] directly.
+///
+/// Every list is evaluated with the same `seed`, giving common random
+/// numbers across policies: the summaries are exactly what
+/// [`evaluate_list_policy`] returns list by list.
+pub fn evaluate_list_policies(
+    instance: &BatchInstance,
+    orders: &[Vec<usize>],
+    machines: usize,
+    metric: ParallelMetric,
+    replications: usize,
+    seed: u64,
+) -> Vec<ReplicationSummary> {
+    orders
+        .par_iter()
+        .map(|order| evaluate_list_policy(instance, order, machines, metric, replications, seed))
+        .collect()
+}
+
+/// Estimate the chosen metric with per-batch summaries on top of the flat
+/// replication values — the chunked counterpart of
+/// [`evaluate_list_policy`], used for convergence monitoring of long runs.
+pub fn evaluate_list_policy_chunked(
+    instance: &BatchInstance,
+    order: &[usize],
+    machines: usize,
+    metric: ParallelMetric,
+    replications: usize,
+    chunk_size: usize,
+    seed: u64,
+) -> ChunkedReplications {
+    run_replications_chunked(replications, seed, chunk_size, |_rep, rng| {
         let out = simulate_list_schedule(instance, order, machines, rng);
         match metric {
             ParallelMetric::TotalFlowtime => out.total_flowtime,
@@ -134,8 +190,22 @@ mod tests {
             .unweighted_job(dyn_dist(Exponential::with_mean(4.0)))
             .unweighted_job(dyn_dist(Exponential::with_mean(3.0)))
             .build();
-        let sept = evaluate_list_policy(&inst, &sept_order(&inst), 2, ParallelMetric::TotalFlowtime, 6000, 9);
-        let lept = evaluate_list_policy(&inst, &lept_order(&inst), 2, ParallelMetric::TotalFlowtime, 6000, 9);
+        let sept = evaluate_list_policy(
+            &inst,
+            &sept_order(&inst),
+            2,
+            ParallelMetric::TotalFlowtime,
+            6000,
+            9,
+        );
+        let lept = evaluate_list_policy(
+            &inst,
+            &lept_order(&inst),
+            2,
+            ParallelMetric::TotalFlowtime,
+            6000,
+            9,
+        );
         assert!(
             sept.mean + sept.ci95 < lept.mean - lept.ci95,
             "SEPT {} ± {} should beat LEPT {} ± {}",
@@ -156,8 +226,22 @@ mod tests {
             .unweighted_job(dyn_dist(Exponential::with_mean(4.0)))
             .unweighted_job(dyn_dist(Exponential::with_mean(3.0)))
             .build();
-        let sept = evaluate_list_policy(&inst, &sept_order(&inst), 2, ParallelMetric::Makespan, 8000, 10);
-        let lept = evaluate_list_policy(&inst, &lept_order(&inst), 2, ParallelMetric::Makespan, 8000, 10);
+        let sept = evaluate_list_policy(
+            &inst,
+            &sept_order(&inst),
+            2,
+            ParallelMetric::Makespan,
+            8000,
+            10,
+        );
+        let lept = evaluate_list_policy(
+            &inst,
+            &lept_order(&inst),
+            2,
+            ParallelMetric::Makespan,
+            8000,
+            10,
+        );
         assert!(
             lept.mean < sept.mean,
             "LEPT makespan {} should be below SEPT {}",
@@ -172,5 +256,40 @@ mod tests {
         let a = evaluate_list_policy(&inst, &[0, 1, 2], 2, ParallelMetric::Makespan, 100, 42);
         let b = evaluate_list_policy(&inst, &[0, 1, 2], 2, ParallelMetric::Makespan, 100, 42);
         assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn multi_list_evaluation_matches_one_by_one() {
+        let inst = BatchInstance::builder()
+            .unweighted_job(dyn_dist(Exponential::with_mean(0.5)))
+            .unweighted_job(dyn_dist(Exponential::with_mean(1.5)))
+            .unweighted_job(dyn_dist(Exponential::with_mean(2.5)))
+            .build();
+        let orders = vec![sept_order(&inst), lept_order(&inst), vec![0, 1, 2]];
+        let batch =
+            evaluate_list_policies(&inst, &orders, 2, ParallelMetric::TotalFlowtime, 200, 13);
+        assert_eq!(batch.len(), orders.len());
+        for (order, summary) in orders.iter().zip(&batch) {
+            let single =
+                evaluate_list_policy(&inst, order, 2, ParallelMetric::TotalFlowtime, 200, 13);
+            assert_eq!(summary.values, single.values);
+        }
+    }
+
+    #[test]
+    fn chunked_evaluation_matches_flat_evaluation() {
+        let inst = det_instance();
+        let flat = evaluate_list_policy(&inst, &[2, 1, 0], 2, ParallelMetric::Makespan, 120, 7);
+        let chunked = evaluate_list_policy_chunked(
+            &inst,
+            &[2, 1, 0],
+            2,
+            ParallelMetric::Makespan,
+            120,
+            32,
+            7,
+        );
+        assert_eq!(chunked.overall.values, flat.values);
+        assert_eq!(chunked.chunks.len(), 4);
     }
 }

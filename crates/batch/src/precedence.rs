@@ -53,14 +53,18 @@ impl InTree {
     /// workload for in-tree scheduling experiments.
     pub fn balanced_binary(n: usize) -> Self {
         assert!(n > 0);
-        let parent = (0..n).map(|i| if i == 0 { None } else { Some((i - 1) / 2) }).collect();
+        let parent = (0..n)
+            .map(|i| if i == 0 { None } else { Some((i - 1) / 2) })
+            .collect();
         Self::new(parent)
     }
 
     /// A chain `n-1 -> n-2 -> ... -> 0` (maximally serial workload).
     pub fn chain(n: usize) -> Self {
         assert!(n > 0);
-        let parent = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parent = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         Self::new(parent)
     }
 
@@ -154,7 +158,10 @@ pub fn simulate_precedence_schedule(
             running.push((clock + duration, j));
         }
         // Advance to the next completion.
-        assert!(!running.is_empty(), "deadlock: no running job but work remains");
+        assert!(
+            !running.is_empty(),
+            "deadlock: no running job but work remains"
+        );
         let (pos, _) = running
             .iter()
             .enumerate()
@@ -251,7 +258,10 @@ mod tests {
             hlf_mk += simulate_precedence_schedule(&inst, &tree, &hlf, 4, &mut rng).1;
             anti_mk += simulate_precedence_schedule(&inst, &tree, &anti, 4, &mut rng).1;
         }
-        assert!(hlf_mk <= anti_mk * 1.02, "HLF {hlf_mk} should not lose to anti-HLF {anti_mk}");
+        assert!(
+            hlf_mk <= anti_mk * 1.02,
+            "HLF {hlf_mk} should not lose to anti-HLF {anti_mk}"
+        );
     }
 
     #[test]

@@ -93,7 +93,12 @@ pub struct PreemptiveConfig {
 
 impl Default for PreemptiveConfig {
     fn default() -> Self {
-        Self { review_period: 0.05, min_quantum: 0.05, index_horizon: 50.0, grid_points: 24 }
+        Self {
+            review_period: 0.05,
+            min_quantum: 0.05,
+            index_horizon: 50.0,
+            grid_points: 24,
+        }
     }
 }
 
@@ -163,16 +168,17 @@ pub fn simulate_gittins_preemptive(
 
     let weighted_flowtime = (0..n).map(|i| jobs[i].weight * completion[i]).sum();
     let makespan = completion.iter().cloned().fold(0.0, f64::max);
-    PreemptiveOutcome { weighted_flowtime, makespan, preemptions }
+    PreemptiveOutcome {
+        weighted_flowtime,
+        makespan,
+        preemptions,
+    }
 }
 
 /// Simulate one realisation of the *nonpreemptive* WSEPT list on the same
 /// sampled processing times, for paired comparisons (common random numbers
 /// are achieved by the caller reusing the RNG stream).
-pub fn simulate_wsept_nonpreemptive(
-    instance: &BatchInstance,
-    rng: &mut dyn RngCore,
-) -> f64 {
+pub fn simulate_wsept_nonpreemptive(instance: &BatchInstance, rng: &mut dyn RngCore) -> f64 {
     let order = crate::policies::wsept_order(instance);
     crate::single_machine::sample_weighted_flowtime(instance, &order, rng)
 }
@@ -225,7 +231,12 @@ mod tests {
             .job(1.0, dyn_dist(Exponential::with_mean(2.0)))
             .build();
         let reps = 1500;
-        let config = PreemptiveConfig { review_period: 0.2, min_quantum: 0.2, index_horizon: 20.0, grid_points: 8 };
+        let config = PreemptiveConfig {
+            review_period: 0.2,
+            min_quantum: 0.2,
+            index_horizon: 20.0,
+            grid_points: 8,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut pre = 0.0;
         let mut non = 0.0;
@@ -236,7 +247,10 @@ mod tests {
         pre /= reps as f64;
         non /= reps as f64;
         let rel = (pre - non).abs() / non;
-        assert!(rel < 0.08, "preemptive {pre} vs WSEPT {non} (rel diff {rel})");
+        assert!(
+            rel < 0.08,
+            "preemptive {pre} vs WSEPT {non} (rel diff {rel})"
+        );
     }
 
     #[test]
@@ -250,7 +264,12 @@ mod tests {
             .job(1.0, dyn_dist(HyperExponential::with_mean_scv(1.0, 16.0)))
             .build();
         let reps = 1500;
-        let config = PreemptiveConfig { review_period: 0.25, min_quantum: 0.25, index_horizon: 30.0, grid_points: 8 };
+        let config = PreemptiveConfig {
+            review_period: 0.25,
+            min_quantum: 0.25,
+            index_horizon: 30.0,
+            grid_points: 8,
+        };
         let mut rng_a = ChaCha8Rng::seed_from_u64(21);
         let mut rng_b = ChaCha8Rng::seed_from_u64(21);
         let mut pre = 0.0;

@@ -96,11 +96,7 @@ pub fn exhaustive_optimal_order(instance: &BatchInstance) -> (Vec<usize>, f64) {
 /// positions `pos` and `pos + 1` of `order` (positive means the swap makes
 /// the schedule worse).  The classical adjacent-interchange argument behind
 /// Smith's rule states this is nonnegative for the WSEPT order.
-pub fn adjacent_interchange_delta(
-    instance: &BatchInstance,
-    order: &[usize],
-    pos: usize,
-) -> f64 {
+pub fn adjacent_interchange_delta(instance: &BatchInstance, order: &[usize], pos: usize) -> f64 {
     assert!(pos + 1 < order.len());
     let mut swapped = order.to_vec();
     swapped.swap(pos, pos + 1);
@@ -110,7 +106,7 @@ pub fn adjacent_interchange_delta(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::{wsept_order, weight_only_order};
+    use crate::policies::{weight_only_order, wsept_order};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use ss_core::instance::{InstanceFamily, InstanceGenerator};
@@ -169,9 +165,14 @@ mod tests {
         let exact = expected_weighted_flowtime(&inst, &order);
         let mut rng = ChaCha8Rng::seed_from_u64(77);
         let n = 200_000;
-        let mc: f64 =
-            (0..n).map(|_| sample_weighted_flowtime(&inst, &order, &mut rng)).sum::<f64>() / n as f64;
-        assert!((mc - exact).abs() / exact < 0.01, "MC {mc} vs exact {exact}");
+        let mc: f64 = (0..n)
+            .map(|_| sample_weighted_flowtime(&inst, &order, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mc - exact).abs() / exact < 0.01,
+            "MC {mc} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -175,7 +175,11 @@ mod tests {
         let order = wsept_order(&inst);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let out = crate::parallel::simulate_list_schedule(&inst, &order, 2, &mut rng);
-        assert!(lb <= out.weighted_flowtime + 1e-9, "LB {lb} vs schedule {}", out.weighted_flowtime);
+        assert!(
+            lb <= out.weighted_flowtime + 1e-9,
+            "LB {lb} vs schedule {}",
+            out.weighted_flowtime
+        );
     }
 
     #[test]
@@ -203,7 +207,11 @@ mod tests {
             4000,
             1,
         );
-        assert!(lb <= sim.mean + sim.ci95, "LB {lb} must lie below WSEPT {}", sim.mean);
+        assert!(
+            lb <= sim.mean + sim.ci95,
+            "LB {lb} must lie below WSEPT {}",
+            sim.mean
+        );
     }
 
     #[test]
@@ -213,7 +221,10 @@ mod tests {
         let gen = InstanceGenerator::with_family(InstanceFamily::Exponential);
         let points = turnpike_sweep(&gen, &[10, 160], 4, 800, 2024);
         assert_eq!(points.len(), 2);
-        assert!(points[0].relative_gap > 0.0, "small-n gap should be positive");
+        assert!(
+            points[0].relative_gap > 0.0,
+            "small-n gap should be positive"
+        );
         assert!(
             points[1].relative_gap < points[0].relative_gap * 0.6,
             "relative gap should shrink: {} -> {}",

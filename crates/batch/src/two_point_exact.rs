@@ -27,7 +27,10 @@ impl TwoPointInstance {
     pub fn unweighted(jobs: Vec<TwoPoint>) -> Self {
         let n = jobs.len();
         assert!(n > 0 && n <= 16, "exact enumeration limited to 16 jobs");
-        Self { jobs, weights: vec![1.0; n] }
+        Self {
+            jobs,
+            weights: vec![1.0; n],
+        }
     }
 
     /// Number of jobs.
@@ -162,7 +165,10 @@ pub fn sept_list(instance: &TwoPointInstance) -> Vec<usize> {
     let mut order: Vec<usize> = (0..instance.len()).collect();
     order.sort_by(|&a, &b| {
         use ss_distributions::ServiceDistribution;
-        instance.jobs[a].mean().partial_cmp(&instance.jobs[b].mean()).unwrap()
+        instance.jobs[a]
+            .mean()
+            .partial_cmp(&instance.jobs[b].mean())
+            .unwrap()
     });
     order
 }

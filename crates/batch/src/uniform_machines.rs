@@ -138,7 +138,10 @@ pub fn simulate_threshold_policy(
 pub fn exp_two_uniform_flowtime(rates: &[f64], speeds: (f64, f64), threshold: usize) -> f64 {
     let n = rates.len();
     assert!(n <= 20);
-    assert!(speeds.0 >= speeds.1 && speeds.1 > 0.0, "speeds must be (fast, slow)");
+    assert!(
+        speeds.0 >= speeds.1 && speeds.1 > 0.0,
+        "speeds must be (fast, slow)"
+    );
     // SEPT order: biggest rate first.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).unwrap());
@@ -149,7 +152,11 @@ pub fn exp_two_uniform_flowtime(rates: &[f64], speeds: (f64, f64), threshold: us
     let full: u32 = (1u32 << n) - 1;
     let mut value = vec![0.0f64; (full as usize) + 1];
     for mask in 1..=full {
-        let remaining: Vec<usize> = order.iter().cloned().filter(|&j| mask & (1 << j) != 0).collect();
+        let remaining: Vec<usize> = order
+            .iter()
+            .cloned()
+            .filter(|&j| mask & (1 << j) != 0)
+            .collect();
         let count = remaining.len();
         let mut served: Vec<(usize, f64)> = vec![(remaining[0], rates[remaining[0]] * speeds.0)];
         if count > threshold && count >= 2 {
@@ -236,7 +243,9 @@ pub fn exp_identical_two_uniform_commit_flowtime(
         v
     }
 
-    solve(n, false, false, lambda, s_fast, s_slow, threshold, &mut memo)
+    solve(
+        n, false, false, lambda, s_fast, s_slow, threshold, &mut memo,
+    )
 }
 
 #[cfg(test)]
@@ -250,7 +259,9 @@ mod tests {
     fn fast_machine_preferred() {
         // One deterministic job on machines with speeds (2, 1): it should
         // run on the fast machine and finish at 0.5.
-        let inst = BatchInstance::builder().unweighted_job(dyn_dist(Deterministic::new(1.0))).build();
+        let inst = BatchInstance::builder()
+            .unweighted_job(dyn_dist(Deterministic::new(1.0)))
+            .build();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let (total, mk) = simulate_uniform_list(&inst, &[0], &[2.0, 1.0], &mut rng);
         assert!((total - 0.5).abs() < 1e-12);
@@ -284,7 +295,8 @@ mod tests {
         // With the slow machine disabled (threshold larger than n), both jobs
         // run sequentially on the fast machine.
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let (_, mk_seq) = simulate_threshold_policy(&inst, &[0, 1], &[1.0, 1.0], &[0, 10], &mut rng);
+        let (_, mk_seq) =
+            simulate_threshold_policy(&inst, &[0, 1], &[1.0, 1.0], &[0, 10], &mut rng);
         assert!((mk_seq - 4.0).abs() < 1e-12);
     }
 
@@ -352,6 +364,9 @@ mod tests {
             acc += simulate_threshold_policy(&inst, &[0, 1, 2], &[1.0, 0.5], &[0, 0], &mut rng).0;
         }
         acc /= reps as f64;
-        assert!((acc - exact).abs() / exact < 0.03, "sim {acc} vs dp {exact}");
+        assert!(
+            (acc - exact).abs() / exact < 0.03,
+            "sim {acc} vs dp {exact}"
+        );
     }
 }

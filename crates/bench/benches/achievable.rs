@@ -32,7 +32,9 @@ fn classes(n: usize) -> Vec<JobClass> {
 /// A ring-feedback Klimov network with `n` classes.
 fn ring_network(n: usize) -> KlimovNetwork {
     let arrivals = vec![0.3 / n as f64; n];
-    let services = (0..n).map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64))).collect();
+    let services = (0..n)
+        .map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64)))
+        .collect();
     let costs = (1..=n).map(|i| i as f64).collect();
     let mut routing = vec![vec![0.0; n]; n];
     for (i, row) in routing.iter_mut().enumerate() {

@@ -3,7 +3,9 @@
 //! DP (experiments E1/E3/E4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ss_batch::exact_exp::{list_policy_flowtime, optimal_flowtime, sept_order_exp, ExpParallelInstance};
+use ss_batch::exact_exp::{
+    list_policy_flowtime, optimal_flowtime, sept_order_exp, ExpParallelInstance,
+};
 use ss_batch::policies::wsept_order;
 use ss_batch::single_machine::{exhaustive_optimal_order, expected_weighted_flowtime};
 use ss_bench::workloads::batch_instance;

@@ -13,7 +13,9 @@ use ss_queueing::setups::{simulate_setup_policy, sqrt_rule_thresholds, SetupPoli
 
 /// A subcritical chain-feedback branching bandit with `n` classes.
 fn chain_bandit(n: usize) -> BranchingBandit {
-    let services = (0..n).map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64))).collect();
+    let services = (0..n)
+        .map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64)))
+        .collect();
     let costs = (1..=n).map(|i| i as f64).collect();
     let offspring = (0..n)
         .map(|i| {
@@ -45,8 +47,8 @@ fn bench_branching(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             let mut total = 0.0;
             for _ in 0..1000 {
-                total +=
-                    simulate_branching(&bandit, &[2, 2, 1], &order, 1_000_000, &mut rng).total_holding_cost;
+                total += simulate_branching(&bandit, &[2, 2, 1], &order, 1_000_000, &mut rng)
+                    .total_holding_cost;
             }
             total
         })
@@ -66,7 +68,12 @@ fn bench_setups(c: &mut Criterion) {
     let setup: Vec<_> = (0..2).map(|_| dyn_dist(Deterministic::new(0.6))).collect();
     let thresholds = sqrt_rule_thresholds(&classes, &[0.6, 0.6]);
     for (label, policy) in [
-        ("threshold", SetupPolicy::Threshold { thresholds: thresholds.clone() }),
+        (
+            "threshold",
+            SetupPolicy::Threshold {
+                thresholds: thresholds.clone(),
+            },
+        ),
         ("exhaustive", SetupPolicy::Exhaustive),
         ("cmu_every_job", SetupPolicy::CmuEveryJob),
     ] {

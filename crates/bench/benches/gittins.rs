@@ -2,7 +2,9 @@
 //! grows (supports the complexity discussion of experiment E8).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ss_bandits::gittins::{gittins_indices_calibration, gittins_indices_restart, gittins_indices_vwb};
+use ss_bandits::gittins::{
+    gittins_indices_calibration, gittins_indices_restart, gittins_indices_vwb,
+};
 use ss_bench::workloads::bandit_project;
 
 fn bench_gittins(c: &mut Criterion) {

@@ -11,7 +11,9 @@ use ss_queueing::klimov::{klimov_indices, simulate_klimov, KlimovNetwork};
 fn random_network(n: usize) -> KlimovNetwork {
     // A ring-feedback network with n classes and load well below one.
     let arrivals = vec![0.3 / n as f64; n];
-    let services = (0..n).map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64))).collect();
+    let services = (0..n)
+        .map(|i| dyn_dist(Exponential::with_mean(0.5 + 0.1 * i as f64)))
+        .collect();
     let costs = (1..=n).map(|i| i as f64).collect();
     let mut routing = vec![vec![0.0; n]; n];
     for (i, row) in routing.iter_mut().enumerate() {

@@ -43,14 +43,20 @@ fn bench_mdp(c: &mut Criterion) {
             b.iter(|| {
                 value_iteration(
                     m,
-                    &ValueIterationOptions { discount: 0.9, tolerance: 1e-8, max_iterations: 100_000 },
+                    &ValueIterationOptions {
+                        discount: 0.9,
+                        tolerance: 1e-8,
+                        max_iterations: 100_000,
+                    },
                 )
             })
         });
         if states <= 200 {
-            group.bench_with_input(BenchmarkId::new("policy_iteration", states), &mdp, |b, m| {
-                b.iter(|| policy_iteration(m, 0.9))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("policy_iteration", states),
+                &mdp,
+                |b, m| b.iter(|| policy_iteration(m, 0.9)),
+            );
         }
     }
     group.finish();

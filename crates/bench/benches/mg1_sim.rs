@@ -17,7 +17,10 @@ fn bench_mg1(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let disciplines: Vec<(&str, Discipline)> = vec![
         ("fifo", Discipline::Fifo),
-        ("nonpreemptive_cmu", Discipline::NonpreemptivePriority(order.clone())),
+        (
+            "nonpreemptive_cmu",
+            Discipline::NonpreemptivePriority(order.clone()),
+        ),
         ("preemptive_cmu", Discipline::PreemptivePriority(order)),
     ];
     for (name, discipline) in disciplines {

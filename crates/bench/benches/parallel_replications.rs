@@ -1,0 +1,40 @@
+//! Throughput of the parallel replication engine: threads x replication
+//! counts over a CPU-bound replication body (experiment E21's microscale
+//! counterpart).  On a multi-core host the per-iteration time should fall
+//! roughly linearly with the thread count; the values stay bit-identical by
+//! the pool's determinism contract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use ss_sim::pool::ThreadPool;
+use ss_sim::replication::run_replications_parallel;
+
+fn replication_body(_i: usize, rng: &mut ChaCha8Rng) -> f64 {
+    (0..400).map(|_| rng.gen::<f64>()).sum()
+}
+
+fn bench_parallel_replications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_replications");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        for &reps in &[100usize, 500] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{threads}"), reps),
+                &reps,
+                |b, &reps| {
+                    b.iter(|| {
+                        pool.install(|| run_replications_parallel(reps, 42, replication_body))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_replications);
+criterion_main!(benches);

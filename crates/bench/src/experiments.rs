@@ -5,23 +5,30 @@
 //! `experiments` binary prints them to stdout.
 
 use crate::workloads;
-use ss_batch::exact_exp::{
-    lept_order_exp, list_policy_flowtime, list_policy_makespan, optimal_flowtime,
-    optimal_makespan, sept_order_exp, ExpParallelInstance,
-};
-use ss_batch::policies::{lept_order, random_order, sept_order, weight_only_order, wsept_order};
-use ss_batch::preemptive::{simulate_gittins_preemptive, simulate_wsept_nonpreemptive, PreemptiveConfig};
-use ss_batch::single_machine::{exhaustive_optimal_order, expected_weighted_flowtime};
-use ss_batch::turnpike::turnpike_sweep;
-use ss_batch::two_point_exact::{best_static_list, exact_list_performance, lept_list, sept_list, TwoPointInstance};
-use ss_bandits::branching::estimate_order_cost;
+use ss_bandits::branching::estimate_order_cost_parallel;
 use ss_bandits::exact::MultiArmedBandit;
+use ss_bandits::gittins::{
+    gittins_indices_calibration, gittins_indices_restart, gittins_indices_vwb,
+};
 use ss_bandits::mpi::marginal_productivity_indices;
-use ss_bandits::gittins::{gittins_indices_calibration, gittins_indices_restart, gittins_indices_vwb};
 use ss_bandits::restless::{
-    asymptotic_sweep, relaxation_bound_identical, simulate_restless, whittle_indices, RestlessPolicy,
+    asymptotic_sweep, relaxation_bound_identical, simulate_restless, whittle_indices,
+    RestlessPolicy,
 };
 use ss_bandits::switching::SwitchingBandit;
+use ss_batch::exact_exp::{
+    lept_order_exp, list_policy_flowtime, list_policy_makespan, optimal_flowtime, optimal_makespan,
+    sept_order_exp, ExpParallelInstance,
+};
+use ss_batch::policies::{lept_order, random_order, sept_order, weight_only_order, wsept_order};
+use ss_batch::preemptive::{
+    simulate_gittins_preemptive, simulate_wsept_nonpreemptive, PreemptiveConfig,
+};
+use ss_batch::single_machine::{exhaustive_optimal_order, expected_weighted_flowtime};
+use ss_batch::turnpike::turnpike_sweep;
+use ss_batch::two_point_exact::{
+    best_static_list, exact_list_performance, lept_list, sept_list, TwoPointInstance,
+};
 use ss_core::instance::{InstanceFamily, InstanceGenerator};
 use ss_core::result::ComparisonTable;
 use ss_distributions::{dyn_dist, HyperExponential, TwoPoint};
@@ -36,7 +43,9 @@ use ss_queueing::klimov::{klimov_order, simulate_klimov};
 use ss_queueing::mg1::{simulate_mg1, Discipline, Mg1Config};
 use ss_queueing::parallel_servers::heavy_traffic_sweep;
 use ss_queueing::polling::{simulate_polling, PollingDiscipline};
-use ss_queueing::setups::{simulate_setup_policy, sqrt_rule_thresholds, threshold_sweep, SetupPolicy};
+use ss_queueing::setups::{
+    simulate_setup_policy, sqrt_rule_thresholds, threshold_sweep, SetupPolicy,
+};
 use ss_queueing::stability::{run_lu_kumar, LuKumarParams};
 
 /// Identifier + human description of one experiment.
@@ -52,26 +61,112 @@ pub struct Experiment {
 /// All experiments in id order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "E1", description: "WSEPT optimality on a single machine (Rothkopf)", run: e1_wsept_single_machine },
-        Experiment { id: "E2", description: "Preemptive Gittins/Sevcik index vs WSEPT (Sevcik)", run: e2_preemptive_gittins },
-        Experiment { id: "E3", description: "SEPT optimal for flowtime on parallel machines (exponential)", run: e3_sept_parallel_flowtime },
-        Experiment { id: "E4", description: "LEPT optimal for makespan on parallel machines (exponential)", run: e4_lept_parallel_makespan },
-        Experiment { id: "E5", description: "Two-point jobs on two machines: index rules suboptimal (CHW)", run: e5_two_point_counterexample },
-        Experiment { id: "E6", description: "WSEPT turnpike asymptotics on parallel machines (Weiss)", run: e6_turnpike },
-        Experiment { id: "E7", description: "Gittins rule equals the exact DP optimum (Gittins-Jones)", run: e7_gittins_optimality },
-        Experiment { id: "E8", description: "Three Gittins algorithms agree (VWB / restart / calibration)", run: e8_gittins_agreement },
-        Experiment { id: "E9", description: "Switching costs break Gittins; hysteresis recovers (Asawa-Teneketzis)", run: e9_switching_costs },
-        Experiment { id: "E10", description: "Whittle index for restless bandits: bound + asymptotics (Whittle, Weber-Weiss)", run: e10_restless_whittle },
-        Experiment { id: "E11", description: "cmu rule in the multiclass M/G/1 (Cox-Smith) + conservation law", run: e11_cmu_mg1 },
-        Experiment { id: "E12", description: "Klimov network: index policy vs all priority orders", run: e12_klimov },
-        Experiment { id: "E13", description: "Parallel servers: cmu heuristic vs relaxation bound in heavy traffic", run: e13_parallel_servers },
-        Experiment { id: "E14", description: "Lu-Kumar instability of a priority policy below nominal capacity", run: e14_stability },
-        Experiment { id: "E15", description: "Fluid approximation of the Lu-Kumar network", run: e15_fluid },
-        Experiment { id: "E16", description: "Setup times: cmu-with-setups vs exhaustive polling", run: e16_polling },
-        Experiment { id: "E17", description: "Achievable-region LP and adaptive-greedy indices (cmu / Klimov)", run: e17_achievable_region },
-        Experiment { id: "E18", description: "Branching bandits: index policy vs all static orders (Weiss)", run: e18_branching },
-        Experiment { id: "E19", description: "Marginal productivity indices vs Whittle bisection (PCL)", run: e19_mpi },
-        Experiment { id: "E20", description: "Setup thresholds: square-root rule vs sweep (Reiman-Wein)", run: e20_setup_thresholds },
+        Experiment {
+            id: "E1",
+            description: "WSEPT optimality on a single machine (Rothkopf)",
+            run: e1_wsept_single_machine,
+        },
+        Experiment {
+            id: "E2",
+            description: "Preemptive Gittins/Sevcik index vs WSEPT (Sevcik)",
+            run: e2_preemptive_gittins,
+        },
+        Experiment {
+            id: "E3",
+            description: "SEPT optimal for flowtime on parallel machines (exponential)",
+            run: e3_sept_parallel_flowtime,
+        },
+        Experiment {
+            id: "E4",
+            description: "LEPT optimal for makespan on parallel machines (exponential)",
+            run: e4_lept_parallel_makespan,
+        },
+        Experiment {
+            id: "E5",
+            description: "Two-point jobs on two machines: index rules suboptimal (CHW)",
+            run: e5_two_point_counterexample,
+        },
+        Experiment {
+            id: "E6",
+            description: "WSEPT turnpike asymptotics on parallel machines (Weiss)",
+            run: e6_turnpike,
+        },
+        Experiment {
+            id: "E7",
+            description: "Gittins rule equals the exact DP optimum (Gittins-Jones)",
+            run: e7_gittins_optimality,
+        },
+        Experiment {
+            id: "E8",
+            description: "Three Gittins algorithms agree (VWB / restart / calibration)",
+            run: e8_gittins_agreement,
+        },
+        Experiment {
+            id: "E9",
+            description: "Switching costs break Gittins; hysteresis recovers (Asawa-Teneketzis)",
+            run: e9_switching_costs,
+        },
+        Experiment {
+            id: "E10",
+            description:
+                "Whittle index for restless bandits: bound + asymptotics (Whittle, Weber-Weiss)",
+            run: e10_restless_whittle,
+        },
+        Experiment {
+            id: "E11",
+            description: "cmu rule in the multiclass M/G/1 (Cox-Smith) + conservation law",
+            run: e11_cmu_mg1,
+        },
+        Experiment {
+            id: "E12",
+            description: "Klimov network: index policy vs all priority orders",
+            run: e12_klimov,
+        },
+        Experiment {
+            id: "E13",
+            description: "Parallel servers: cmu heuristic vs relaxation bound in heavy traffic",
+            run: e13_parallel_servers,
+        },
+        Experiment {
+            id: "E14",
+            description: "Lu-Kumar instability of a priority policy below nominal capacity",
+            run: e14_stability,
+        },
+        Experiment {
+            id: "E15",
+            description: "Fluid approximation of the Lu-Kumar network",
+            run: e15_fluid,
+        },
+        Experiment {
+            id: "E16",
+            description: "Setup times: cmu-with-setups vs exhaustive polling",
+            run: e16_polling,
+        },
+        Experiment {
+            id: "E17",
+            description: "Achievable-region LP and adaptive-greedy indices (cmu / Klimov)",
+            run: e17_achievable_region,
+        },
+        Experiment {
+            id: "E18",
+            description: "Branching bandits: index policy vs all static orders (Weiss)",
+            run: e18_branching,
+        },
+        Experiment {
+            id: "E19",
+            description: "Marginal productivity indices vs Whittle bisection (PCL)",
+            run: e19_mpi,
+        },
+        Experiment {
+            id: "E20",
+            description: "Setup thresholds: square-root rule vs sweep (Reiman-Wein)",
+            run: e20_setup_thresholds,
+        },
+        Experiment {
+            id: "E21",
+            description: "Parallel replication engine: thread sweep, wall-clock and bit-identity",
+            run: e21_parallel_replications,
+        },
     ]
 }
 
@@ -101,11 +196,36 @@ fn e1_wsept_single_machine() -> String {
         "E[sum w C]",
     );
     let mut rng = workloads::rng_for(77);
-    table.add("WSEPT (optimal)", expected_weighted_flowtime(&inst, &wsept_order(&inst)), None, "Rothkopf 1966");
-    table.add("SEPT (ignores weights)", expected_weighted_flowtime(&inst, &sept_order(&inst)), None, "");
-    table.add("weight-only", expected_weighted_flowtime(&inst, &weight_only_order(&inst)), None, "");
-    table.add("LEPT", expected_weighted_flowtime(&inst, &lept_order(&inst)), None, "");
-    table.add("random", expected_weighted_flowtime(&inst, &random_order(&inst, &mut rng)), None, "");
+    table.add(
+        "WSEPT (optimal)",
+        expected_weighted_flowtime(&inst, &wsept_order(&inst)),
+        None,
+        "Rothkopf 1966",
+    );
+    table.add(
+        "SEPT (ignores weights)",
+        expected_weighted_flowtime(&inst, &sept_order(&inst)),
+        None,
+        "",
+    );
+    table.add(
+        "weight-only",
+        expected_weighted_flowtime(&inst, &weight_only_order(&inst)),
+        None,
+        "",
+    );
+    table.add(
+        "LEPT",
+        expected_weighted_flowtime(&inst, &lept_order(&inst)),
+        None,
+        "",
+    );
+    table.add(
+        "random",
+        expected_weighted_flowtime(&inst, &random_order(&inst, &mut rng)),
+        None,
+        "",
+    );
     out.push_str(&table.to_markdown());
     out
 }
@@ -114,13 +234,24 @@ fn e1_wsept_single_machine() -> String {
 
 fn e2_preemptive_gittins() -> String {
     let mut out = String::new();
-    for (label, scv) in [("exponential (scv = 1)", 1.0001f64), ("hyperexponential (scv = 8)", 8.0f64)] {
+    for (label, scv) in [
+        ("exponential (scv = 1)", 1.0001f64),
+        ("hyperexponential (scv = 8)", 8.0f64),
+    ] {
         let mut builder = ss_core::instance::BatchInstance::builder();
         for _ in 0..4 {
-            builder = builder.job(1.0, dyn_dist(HyperExponential::with_mean_scv(1.0, scv.max(1.01))));
+            builder = builder.job(
+                1.0,
+                dyn_dist(HyperExponential::with_mean_scv(1.0, scv.max(1.01))),
+            );
         }
         let inst = builder.build();
-        let config = PreemptiveConfig { review_period: 0.1, min_quantum: 0.1, index_horizon: 40.0, grid_points: 12 };
+        let config = PreemptiveConfig {
+            review_period: 0.1,
+            min_quantum: 0.1,
+            index_horizon: 40.0,
+            grid_points: 12,
+        };
         let reps = 4000;
         let mut rng = workloads::rng_for(200);
         let mut pre = 0.0;
@@ -135,9 +266,24 @@ fn e2_preemptive_gittins() -> String {
             format!("E2: preemptive vs nonpreemptive, 4 identical jobs, {label}"),
             "E[sum w C]",
         );
-        table.add("Gittins/Sevcik preemptive", pre, None, "optimal (Sevcik 1974)");
-        table.add("WSEPT nonpreemptive", non, None, "optimal among nonpreemptive");
-        table.add("preemption gain", (non - pre) / non * 100.0, None, "percent");
+        table.add(
+            "Gittins/Sevcik preemptive",
+            pre,
+            None,
+            "optimal (Sevcik 1974)",
+        );
+        table.add(
+            "WSEPT nonpreemptive",
+            non,
+            None,
+            "optimal among nonpreemptive",
+        );
+        table.add(
+            "preemption gain",
+            (non - pre) / non * 100.0,
+            None,
+            "percent",
+        );
         out.push_str(&table.to_markdown());
         out.push('\n');
     }
@@ -158,10 +304,30 @@ fn e3_sept_parallel_flowtime() -> String {
             format!("E3: E[sum C], 8 exponential jobs, m = {machines} (exact DP)"),
             "E[sum C]",
         );
-        table.add("optimal (non-idling DP)", optimal_flowtime(&inst, machines), None, "exact");
-        table.add("SEPT", list_policy_flowtime(&inst, &sept_order_exp(&inst), machines), None, "optimal (Weber)");
-        table.add("LEPT", list_policy_flowtime(&inst, &lept_order_exp(&inst), machines), None, "");
-        table.add("index order 0..n", list_policy_flowtime(&inst, &(0..inst.len()).collect::<Vec<_>>(), machines), None, "arbitrary");
+        table.add(
+            "optimal (non-idling DP)",
+            optimal_flowtime(&inst, machines),
+            None,
+            "exact",
+        );
+        table.add(
+            "SEPT",
+            list_policy_flowtime(&inst, &sept_order_exp(&inst), machines),
+            None,
+            "optimal (Weber)",
+        );
+        table.add(
+            "LEPT",
+            list_policy_flowtime(&inst, &lept_order_exp(&inst), machines),
+            None,
+            "",
+        );
+        table.add(
+            "index order 0..n",
+            list_policy_flowtime(&inst, &(0..inst.len()).collect::<Vec<_>>(), machines),
+            None,
+            "arbitrary",
+        );
         out.push_str(&table.to_markdown());
         out.push('\n');
     }
@@ -176,9 +342,24 @@ fn e4_lept_parallel_makespan() -> String {
             format!("E4: E[makespan], 8 exponential jobs, m = {machines} (exact DP)"),
             "E[max C]",
         );
-        table.add("optimal (non-idling DP)", optimal_makespan(&inst, machines), None, "exact");
-        table.add("LEPT", list_policy_makespan(&inst, &lept_order_exp(&inst), machines), None, "optimal (Bruno et al.)");
-        table.add("SEPT", list_policy_makespan(&inst, &sept_order_exp(&inst), machines), None, "");
+        table.add(
+            "optimal (non-idling DP)",
+            optimal_makespan(&inst, machines),
+            None,
+            "exact",
+        );
+        table.add(
+            "LEPT",
+            list_policy_makespan(&inst, &lept_order_exp(&inst), machines),
+            None,
+            "optimal (Bruno et al.)",
+        );
+        table.add(
+            "SEPT",
+            list_policy_makespan(&inst, &sept_order_exp(&inst), machines),
+            None,
+            "",
+        );
         out.push_str(&table.to_markdown());
         out.push('\n');
     }
@@ -204,7 +385,12 @@ fn e5_two_point_counterexample() -> String {
         "E5: two-point jobs on 2 machines, exact E[makespan] over all 2^n realisations",
         "E[max C]",
     );
-    table.add(format!("best static list {best_order:?}"), best_mk, None, "exhaustive over 6! lists");
+    table.add(
+        format!("best static list {best_order:?}"),
+        best_mk,
+        None,
+        "exhaustive over 6! lists",
+    );
     table.add("LEPT list", lept_mk, None, "index rule");
     table.add("SEPT list", sept_mk, None, "index rule");
     let mut out = table.to_markdown();
@@ -219,7 +405,13 @@ fn e5_two_point_counterexample() -> String {
 
 fn e6_turnpike() -> String {
     let gen = InstanceGenerator::with_family(InstanceFamily::Exponential);
-    let points = turnpike_sweep(&gen, &[10, 20, 40, 80, 160, 320, 640], 4, 400, workloads::MASTER_SEED);
+    let points = turnpike_sweep(
+        &gen,
+        &[10, 20, 40, 80, 160, 320, 640],
+        4,
+        400,
+        workloads::MASTER_SEED,
+    );
     let mut out = String::from(
         "### E6: WSEPT on m = 4 machines vs speed-m relaxation bound (exponential jobs)\n\n| n | WSEPT (sim) | lower bound | additive gap | relative gap |\n|---|---|---|---|---|\n",
     );
@@ -270,8 +462,16 @@ fn e8_gittins_agreement() -> String {
         let vwb = gittins_indices_vwb(&p, 0.9);
         let restart = gittins_indices_restart(&p, 0.9);
         let calib = gittins_indices_calibration(&p, 0.9);
-        let d1 = vwb.iter().zip(&restart).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-        let d2 = vwb.iter().zip(&calib).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let d1 = vwb
+            .iter()
+            .zip(&restart)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let d2 = vwb
+            .iter()
+            .zip(&calib)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         out.push_str(&format!("| {k} | {d1:.2e} | {d2:.2e} |\n"));
     }
     out.push_str("\nAll three computations coincide to solver tolerance; see `cargo bench -p ss-bench --bench gittins` for their running-time scaling.\n");
@@ -282,9 +482,7 @@ fn e8_gittins_agreement() -> String {
 
 fn e9_switching_costs() -> String {
     use ss_bandits::project::BanditProject;
-    let alternating = || {
-        BanditProject::new(vec![1.0, 0.3], vec![vec![(1, 1.0)], vec![(0, 1.0)]])
-    };
+    let alternating = || BanditProject::new(vec![1.0, 0.3], vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
     let mab = MultiArmedBandit::new(vec![alternating(), alternating()], 0.9);
     let mut out = String::from(
         "### E9: switching costs (two alternating projects, beta = 0.9)\n\n| switch cost | optimal | Gittins (ignores cost) | hysteresis index | Gittins gap % | hysteresis gap % |\n|---|---|---|---|---|---|\n",
@@ -321,11 +519,20 @@ fn e10_restless_whittle() -> String {
     let projects: Vec<_> = (0..n).map(|_| project.clone()).collect();
     let mut rng = workloads::rng_for(1000);
     let horizon = 40_000;
-    let whittle = simulate_restless(&projects, m, &RestlessPolicy::WhittleIndex(vec![indices.clone(); n]), horizon, &mut rng);
+    let whittle = simulate_restless(
+        &projects,
+        m,
+        &RestlessPolicy::WhittleIndex(vec![indices.clone(); n]),
+        horizon,
+        &mut rng,
+    );
     let myopic = simulate_restless(&projects, m, &RestlessPolicy::Myopic, horizon, &mut rng);
     let random = simulate_restless(&projects, m, &RestlessPolicy::Random, horizon, &mut rng);
     let bound = n as f64 * relaxation_bound_identical(&project, m as f64 / n as f64);
-    let mut table = ComparisonTable::new("E10a: N = 20 machines, m = 6 repair crews, average reward/period", "avg reward");
+    let mut table = ComparisonTable::new(
+        "E10a: N = 20 machines, m = 6 repair crews, average reward/period",
+        "avg reward",
+    );
     table.add("Whittle LP relaxation (upper bound)", bound, None, "ss-lp");
     table.add("Whittle index policy", whittle, None, "");
     table.add("myopic", myopic, None, "");
@@ -359,34 +566,70 @@ fn e11_cmu_mg1() -> String {
         "E11a: 3-class M/G/1 at rho = 0.63, steady-state holding cost rate (exact Cobham)",
         "sum c_j E[L_j]",
     );
-    table.add(format!("cmu order {cmu:?}"), cmu_cost, None, "optimal (Cox-Smith)");
-    table.add(format!("exhaustive best {best_order:?}"), best_cost, None, "exact");
+    table.add(
+        format!("cmu order {cmu:?}"),
+        cmu_cost,
+        None,
+        "optimal (Cox-Smith)",
+    );
+    table.add(
+        format!("exhaustive best {best_order:?}"),
+        best_cost,
+        None,
+        "exact",
+    );
     let reverse: Vec<usize> = cmu.iter().rev().cloned().collect();
-    table.add("reverse cmu", mg1_nonpreemptive_priority(&classes, &reverse).holding_cost_rate, None, "");
+    table.add(
+        "reverse cmu",
+        mg1_nonpreemptive_priority(&classes, &reverse).holding_cost_rate,
+        None,
+        "",
+    );
     // FIFO via simulation.
     let mut rng = workloads::rng_for(1100);
     let fifo = simulate_mg1(
-        &Mg1Config { classes: classes.clone(), discipline: Discipline::Fifo, horizon: 200_000.0, warmup: 5_000.0 },
+        &Mg1Config {
+            classes: classes.clone(),
+            discipline: Discipline::Fifo,
+            horizon: 200_000.0,
+            warmup: 5_000.0,
+        },
         &mut rng,
     );
     table.add("FIFO (simulated)", fifo.holding_cost_rate, None, "");
     // Simulated cmu as a calibration row.
     let mut rng = workloads::rng_for(1101);
     let sim_cmu = simulate_mg1(
-        &Mg1Config { classes: classes.clone(), discipline: Discipline::NonpreemptivePriority(cmu.clone()), horizon: 200_000.0, warmup: 5_000.0 },
+        &Mg1Config {
+            classes: classes.clone(),
+            discipline: Discipline::NonpreemptivePriority(cmu.clone()),
+            horizon: 200_000.0,
+            warmup: 5_000.0,
+        },
         &mut rng,
     );
-    table.add("cmu (simulated)", sim_cmu.holding_cost_rate, None, "simulator calibration");
+    table.add(
+        "cmu (simulated)",
+        sim_cmu.holding_cost_rate,
+        None,
+        "simulator calibration",
+    );
     out.push_str(&table.to_markdown());
 
     // Conservation law check + load sweep.
     out.push_str("\nConservation law: sum_j rho_j W_j per priority order (must be constant):\n\n| order | sum rho_j W_j |\n|---|---|\n");
     for order in [[0usize, 1, 2], [1, 2, 0], [2, 1, 0]] {
-        out.push_str(&format!("| {:?} | {:.6} |\n", order, weighted_wait_sum(&classes, &order)));
+        out.push_str(&format!(
+            "| {:?} | {:.6} |\n",
+            order,
+            weighted_wait_sum(&classes, &order)
+        ));
     }
     out.push_str(&format!("| (theory) | {:.6} |\n", conserved_work(&classes)));
 
-    out.push_str("\n| rho | cmu cost (exact) | FIFO-like worst order cost | ratio |\n|---|---|---|---|\n");
+    out.push_str(
+        "\n| rho | cmu cost (exact) | FIFO-like worst order cost | ratio |\n|---|---|---|---|\n",
+    );
     for &scale in &[0.6, 1.0, 1.3, 1.45] {
         let classes = workloads::mg1_three_classes(scale);
         let rho: f64 = classes.iter().map(|c| c.load()).sum();
@@ -394,7 +637,10 @@ fn e11_cmu_mg1() -> String {
         let cost = mg1_nonpreemptive_priority(&classes, &cmu).holding_cost_rate;
         let reverse: Vec<usize> = cmu.iter().rev().cloned().collect();
         let worst = mg1_nonpreemptive_priority(&classes, &reverse).holding_cost_rate;
-        out.push_str(&format!("| {rho:.3} | {cost:.3} | {worst:.3} | {:.3} |\n", worst / cost));
+        out.push_str(&format!(
+            "| {rho:.3} | {cost:.3} | {worst:.3} | {:.3} |\n",
+            worst / cost
+        ));
     }
     out.push_str("\nThe advantage of the cmu rule grows with the load.\n");
     out
@@ -439,12 +685,22 @@ fn e12_klimov() -> String {
 fn e13_parallel_servers() -> String {
     let base = workloads::mmm_two_classes();
     let mut rng = workloads::rng_for(1300);
-    let points = heavy_traffic_sweep(&base, 2, &[1.0, 1.6, 2.0, 2.3, 2.5], 300_000.0, 10_000.0, &mut rng);
+    let points = heavy_traffic_sweep(
+        &base,
+        2,
+        &[1.0, 1.6, 2.0, 2.3, 2.5],
+        300_000.0,
+        10_000.0,
+        &mut rng,
+    );
     let mut out = String::from(
         "### E13: 2-class M/M/2 under the cmu rule vs fast-single-server bound\n\n| rho | cmu cost (sim) | lower bound | ratio |\n|---|---|---|---|\n",
     );
     for p in &points {
-        out.push_str(&format!("| {:.3} | {:.3} | {:.3} | {:.3} |\n", p.rho, p.cmu_cost, p.lower_bound, p.ratio));
+        out.push_str(&format!(
+            "| {:.3} | {:.3} | {:.3} | {:.3} |\n",
+            p.rho, p.cmu_cost, p.lower_bound, p.ratio
+        ));
     }
     out.push_str("\nThe ratio to the relaxation bound falls towards 1 as rho -> 1: the index heuristic is asymptotically optimal in heavy traffic (Glazebrook–Niño-Mora).\n");
     out
@@ -461,9 +717,21 @@ fn e14_stability() -> String {
     );
     let horizon = 20_000.0;
     let mut rng = workloads::rng_for(1400);
-    let bad = run_lu_kumar(&params, &params.bad_priority(), "priority to classes 2 & 4", horizon, &mut rng);
+    let bad = run_lu_kumar(
+        &params,
+        &params.bad_priority(),
+        "priority to classes 2 & 4",
+        horizon,
+        &mut rng,
+    );
     let mut rng = workloads::rng_for(1400);
-    let good = run_lu_kumar(&params, &params.good_priority(), "priority to classes 1 & 3", horizon, &mut rng);
+    let good = run_lu_kumar(
+        &params,
+        &params.good_priority(),
+        "priority to classes 1 & 3",
+        horizon,
+        &mut rng,
+    );
     out.push_str("| policy | growth rate (jobs/time) | final total in system |\n|---|---|---|\n");
     for run in [&bad, &good] {
         out.push_str(&format!(
@@ -510,8 +778,18 @@ fn e15_fluid() -> String {
 
 fn e16_polling() -> String {
     let classes = vec![
-        ss_core::job::JobClass::new(0, 0.45, dyn_dist(ss_distributions::Exponential::with_mean(1.0)), 1.0),
-        ss_core::job::JobClass::new(1, 0.35, dyn_dist(ss_distributions::Exponential::with_mean(0.8)), 2.0),
+        ss_core::job::JobClass::new(
+            0,
+            0.45,
+            dyn_dist(ss_distributions::Exponential::with_mean(1.0)),
+            1.0,
+        ),
+        ss_core::job::JobClass::new(
+            1,
+            0.35,
+            dyn_dist(ss_distributions::Exponential::with_mean(0.8)),
+            2.0,
+        ),
     ];
     let mut out = String::from(
         "### E16: 2-class M/M/1 with class switchover times\n\n| setup time | cmu-with-setups cost | exhaustive polling cost | gated polling cost | cmu setups | exhaustive setups | gated setups |\n|---|---|---|---|---|---|---|\n",
@@ -521,11 +799,32 @@ fn e16_polling() -> String {
             .map(|_| dyn_dist(ss_distributions::Deterministic::new(setup_time)))
             .collect();
         let mut rng = workloads::rng_for(1600);
-        let cmu = simulate_polling(&classes, &setups, PollingDiscipline::CmuWithSetups, 150_000.0, 5_000.0, &mut rng);
+        let cmu = simulate_polling(
+            &classes,
+            &setups,
+            PollingDiscipline::CmuWithSetups,
+            150_000.0,
+            5_000.0,
+            &mut rng,
+        );
         let mut rng = workloads::rng_for(1600);
-        let exhaustive = simulate_polling(&classes, &setups, PollingDiscipline::Exhaustive, 150_000.0, 5_000.0, &mut rng);
+        let exhaustive = simulate_polling(
+            &classes,
+            &setups,
+            PollingDiscipline::Exhaustive,
+            150_000.0,
+            5_000.0,
+            &mut rng,
+        );
         let mut rng = workloads::rng_for(1600);
-        let gated = simulate_polling(&classes, &setups, PollingDiscipline::Gated, 150_000.0, 5_000.0, &mut rng);
+        let gated = simulate_polling(
+            &classes,
+            &setups,
+            PollingDiscipline::Gated,
+            150_000.0,
+            5_000.0,
+            &mut rng,
+        );
         out.push_str(&format!(
             "| {setup_time} | {:.3} | {:.3} | {:.3} | {} | {} | {} |\n",
             cmu.holding_cost_rate,
@@ -549,8 +848,14 @@ fn e17_achievable_region() -> String {
     // (a) Vertices of the performance polytope are exactly the priority
     // rules: compare the nested-difference vertex with Cobham for every
     // order and report the worst discrepancy.
-    let orders: Vec<Vec<usize>> =
-        vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0]];
+    let orders: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2],
+        vec![0, 2, 1],
+        vec![1, 0, 2],
+        vec![1, 2, 0],
+        vec![2, 0, 1],
+        vec![2, 1, 0],
+    ];
     let mut worst = 0.0f64;
     for order in &orders {
         let vertex = vertex_performance(&classes, order);
@@ -579,8 +884,18 @@ fn e17_achievable_region() -> String {
         "E17: 3-class M/G/1 — achievable-region LP vs policies",
         "holding-cost rate",
     );
-    table.add("achievable-region LP optimum", lp.holding_cost_rate, None, "2^N-constraint LP over rho_j W_j");
-    table.add("cmu rule (Cobham exact)", cmu_cost, None, "optimal (Cox-Smith)");
+    table.add(
+        "achievable-region LP optimum",
+        lp.holding_cost_rate,
+        None,
+        "2^N-constraint LP over rho_j W_j",
+    );
+    table.add(
+        "cmu rule (Cobham exact)",
+        cmu_cost,
+        None,
+        "optimal (Cox-Smith)",
+    );
     table.add("exhaustive best priority order", best_cost, None, "exact");
     table.add("FIFO", fifo_cost, None, "Pollaczek-Khinchine");
     out.push_str(&table.to_markdown());
@@ -589,14 +904,21 @@ fn e17_achievable_region() -> String {
     let ag = cmu_via_adaptive_greedy(&classes);
     out.push_str("\n| class | adaptive-greedy index | c_j mu_j |\n|---|---|---|\n");
     for (j, c) in classes.iter().enumerate() {
-        out.push_str(&format!("| {j} | {:.4} | {:.4} |\n", ag.indices[j], c.cmu_index()));
+        out.push_str(&format!(
+            "| {j} | {:.4} | {:.4} |\n",
+            ag.indices[j],
+            c.cmu_index()
+        ));
     }
     let network = workloads::klimov_three_class();
     let ag_klimov = klimov_via_adaptive_greedy(&network);
     let dedicated = ss_queueing::klimov::klimov_indices(&network);
     out.push_str("\n| class | adaptive-greedy index (feedback) | Klimov index |\n|---|---|---|\n");
     for j in 0..network.num_classes() {
-        out.push_str(&format!("| {j} | {:.4} | {:.4} |\n", ag_klimov.indices[j], dedicated[j]));
+        out.push_str(&format!(
+            "| {j} | {:.4} | {:.4} |\n",
+            ag_klimov.indices[j], dedicated[j]
+        ));
     }
     out.push_str(&format!(
         "\nMarginal rates non-increasing (conservation-law certificate): cmu {}, Klimov {}.\n",
@@ -612,7 +934,8 @@ fn e18_branching() -> String {
     let bandit = workloads::branching_three_class();
     let initial = [2usize, 2, 1];
     let indices = bandit.indices();
-    let mut out = String::from("### E18: branching bandit (3 classes, initial population [2, 2, 1])\n\n");
+    let mut out =
+        String::from("### E18: branching bandit (3 classes, initial population [2, 2, 1])\n\n");
     out.push_str("| class | index | mean service | holding cost | expected total work per job |\n|---|---|---|---|---|\n");
     for j in 0..bandit.num_classes() {
         out.push_str(&format!(
@@ -625,17 +948,27 @@ fn e18_branching() -> String {
     }
     out.push('\n');
 
-    let orders: Vec<Vec<usize>> =
-        vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0]];
+    let orders: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2],
+        vec![0, 2, 1],
+        vec![1, 0, 2],
+        vec![1, 2, 0],
+        vec![2, 0, 1],
+        vec![2, 1, 0],
+    ];
     let index_order = indices.order.clone();
     let mut table = ComparisonTable::new(
         "E18: expected total holding cost until extinction (20 000 replications per order)",
         "E[total holding cost]",
     );
     for (i, order) in orders.iter().enumerate() {
-        let mut rng = workloads::rng_for(1800 + i as u64);
-        let (mean, ci) = estimate_order_cost(&bandit, &initial, order, 20_000, &mut rng);
-        let note = if *order == index_order { "branching-bandit index order (Weiss)" } else { "" };
+        let (mean, ci) =
+            estimate_order_cost_parallel(&bandit, &initial, order, 20_000, 1800 + i as u64);
+        let note = if *order == index_order {
+            "branching-bandit index order (Weiss)"
+        } else {
+            ""
+        };
         table.add(format!("priority {:?}", order), mean, Some(ci), note);
     }
     out.push_str(&table.to_markdown());
@@ -685,14 +1018,30 @@ fn e20_setup_thresholds() -> String {
             .collect();
         let thresholds = sqrt_rule_thresholds(&classes, &[setup_time, setup_time]);
         let mut rng = workloads::rng_for(2000);
-        let myopic = simulate_setup_policy(&classes, &setup, &SetupPolicy::CmuEveryJob, 150_000.0, 5_000.0, &mut rng);
+        let myopic = simulate_setup_policy(
+            &classes,
+            &setup,
+            &SetupPolicy::CmuEveryJob,
+            150_000.0,
+            5_000.0,
+            &mut rng,
+        );
         let mut rng = workloads::rng_for(2000);
-        let exhaustive = simulate_setup_policy(&classes, &setup, &SetupPolicy::Exhaustive, 150_000.0, 5_000.0, &mut rng);
+        let exhaustive = simulate_setup_policy(
+            &classes,
+            &setup,
+            &SetupPolicy::Exhaustive,
+            150_000.0,
+            5_000.0,
+            &mut rng,
+        );
         let mut rng = workloads::rng_for(2000);
         let threshold = simulate_setup_policy(
             &classes,
             &setup,
-            &SetupPolicy::Threshold { thresholds: thresholds.clone() },
+            &SetupPolicy::Threshold {
+                thresholds: thresholds.clone(),
+            },
             150_000.0,
             5_000.0,
             &mut rng,
@@ -734,6 +1083,69 @@ fn e20_setup_thresholds() -> String {
     out
 }
 
+// ---------------------------------------------------------------- E21 ---
+
+/// The shared E21 workload: one list-schedule Monte-Carlo evaluation, sized
+/// so one replication (200 sampled jobs through the machine calendar) is
+/// heavy enough to dwarf the pool's per-chunk overhead.
+pub fn parallel_replication_workload(replications: usize) -> ss_sim::ReplicationSummary {
+    use ss_batch::parallel::{evaluate_list_policy, ParallelMetric};
+    let inst = workloads::batch_instance(200, InstanceFamily::Mixed, 2100);
+    let order: Vec<usize> = (0..inst.len()).collect();
+    evaluate_list_policy(
+        &inst,
+        &order,
+        4,
+        ParallelMetric::TotalFlowtime,
+        replications,
+        workloads::MASTER_SEED,
+    )
+}
+
+fn e21_parallel_replications() -> String {
+    use std::time::Instant;
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let reps = 500;
+    let mut out = format!(
+        "### E21: parallel replication engine — 200-job list-schedule simulation, {reps} replications per run (host: {host} logical CPU(s))\n\n"
+    );
+    let time_with_threads = |threads: usize| {
+        // Pool built outside the timer: thread spawn/join is setup cost,
+        // not workload cost. Best of 3 to damp scheduler noise.
+        let pool = ss_sim::pool::ThreadPool::new(threads);
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let summary = pool.install(|| parallel_replication_workload(reps));
+            best = best.min(start.elapsed().as_secs_f64());
+            last = Some(summary);
+        }
+        (best, last.expect("three runs completed"))
+    };
+    let (serial_secs, serial) = time_with_threads(1);
+    out.push_str("| threads | wall-clock (best of 3) | speedup vs 1 thread | values bit-identical to serial |\n|---|---|---|---|\n");
+    for &threads in &[1usize, 2, 4, 8] {
+        let (secs, summary) = time_with_threads(threads);
+        let identical = summary.values == serial.values;
+        out.push_str(&format!(
+            "| {threads} | {:.1} ms | {:.2}x | {identical} |\n",
+            secs * 1e3,
+            serial_secs / secs
+        ));
+    }
+    out.push_str(&format!(
+        "\nDeterminism is the contract — the pool only changes the schedule, never the \
+         values — so the summary (mean {:.4} ± {:.4}) is the same for every row.  Wall-clock \
+         speedup tracks the host's core count; see BENCH_parallel_replications.json for the \
+         recorded trajectory (`cargo run --release -p ss-bench --bin parallel_replications`).\n",
+        serial.mean, serial.ci95
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -741,10 +1153,19 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_unique() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 20);
-        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
-        ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(experiments.len(), 21);
+        let ids: std::collections::HashSet<&str> = experiments.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn parallel_replication_experiment_is_bit_identical() {
+        let report = e21_parallel_replications();
+        assert!(report.contains("bit-identical"));
+        assert!(
+            !report.contains("| false |"),
+            "parallel diverged from serial:\n{report}"
+        );
     }
 
     #[test]

@@ -1,16 +1,20 @@
 //! # ss-bench — benchmarks and the experiment harness
 //!
-//! Two deliverables live here:
+//! Three deliverables live here:
 //!
 //! * the **experiment harness** ([`experiments`]) — one function per
-//!   experiment E1–E20 of `DESIGN.md`; each regenerates the corresponding
+//!   experiment E1–E21 of `DESIGN.md`; each regenerates the corresponding
 //!   table/series of `EXPERIMENTS.md`.  Run all of them with
 //!   `cargo run --release -p ss-bench --bin experiments`, or a subset with
 //!   `cargo run --release -p ss-bench --bin experiments -- E7 E10`;
 //! * the **Criterion benchmarks** (`benches/`) — micro/meso benchmarks of
 //!   the computational kernels (Gittins/Whittle/Klimov index computation,
 //!   the simplex solver, MDP value iteration, the event calendar, the
-//!   M/G/1 simulator, batch index evaluation and the turnpike sweep).
+//!   M/G/1 simulator, batch index evaluation, the turnpike sweep, and the
+//!   parallel replication engine's threads × replications throughput);
+//! * the **`parallel_replications` binary** — records the serial-vs-parallel
+//!   wall-clock trajectory to `BENCH_parallel_replications.json` and gates
+//!   the pool's serial/parallel bit-identity (`--check`, used by CI).
 //!
 //! [`workloads`] holds the shared instance builders so that the harness and
 //! the benches exercise exactly the same configurations.

@@ -31,9 +31,24 @@ pub fn batch_instance(n: usize, family: InstanceFamily, tag: u64) -> BatchInstan
 /// The three-class M/G/1 instance used by E11 (mixed service variability).
 pub fn mg1_three_classes(load_scale: f64) -> Vec<JobClass> {
     vec![
-        JobClass::new(0, 0.20 * load_scale, dyn_dist(Exponential::with_mean(1.0)), 1.0),
-        JobClass::new(1, 0.25 * load_scale, dyn_dist(Erlang::with_mean(3, 0.8)), 3.0),
-        JobClass::new(2, 0.10 * load_scale, dyn_dist(HyperExponential::with_mean_scv(1.5, 4.0)), 2.0),
+        JobClass::new(
+            0,
+            0.20 * load_scale,
+            dyn_dist(Exponential::with_mean(1.0)),
+            1.0,
+        ),
+        JobClass::new(
+            1,
+            0.25 * load_scale,
+            dyn_dist(Erlang::with_mean(3, 0.8)),
+            3.0,
+        ),
+        JobClass::new(
+            2,
+            0.10 * load_scale,
+            dyn_dist(HyperExponential::with_mean_scv(1.5, 4.0)),
+            2.0,
+        ),
     ]
 }
 
@@ -129,7 +144,11 @@ mod tests {
             assert_eq!(ja.weight, jb.weight);
         }
         let c = batch_instance(6, InstanceFamily::Exponential, 2);
-        assert!(a.jobs().iter().zip(c.jobs()).any(|(x, y)| x.weight != y.weight));
+        assert!(a
+            .jobs()
+            .iter()
+            .zip(c.jobs())
+            .any(|(x, y)| x.weight != y.weight));
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl AdaptiveGreedyResult {
     /// Whether the marginal rates were non-increasing along the run — the
     /// numerical footprint of the generalised-conservation-law structure.
     pub fn rates_non_increasing(&self, tolerance: f64) -> bool {
-        self.assignment_rates.windows(2).all(|w| w[1] <= w[0] + tolerance)
+        self.assignment_rates
+            .windows(2)
+            .all(|w| w[1] <= w[0] + tolerance)
     }
 }
 
@@ -89,7 +91,11 @@ impl AdaptiveGreedyResult {
 /// measure (which would make the marginal rate meaningless).
 pub fn adaptive_greedy(costs: &[f64], oracle: &dyn WorkMeasure) -> AdaptiveGreedyResult {
     let n = oracle.num_classes();
-    assert_eq!(costs.len(), n, "cost vector length must match the number of classes");
+    assert_eq!(
+        costs.len(),
+        n,
+        "cost vector length must match the number of classes"
+    );
     assert!(n > 0, "need at least one class");
     assert!(
         costs.iter().all(|c| c.is_finite() && *c >= 0.0),
@@ -116,7 +122,10 @@ pub fn adaptive_greedy(costs: &[f64], oracle: &dyn WorkMeasure) -> AdaptiveGreed
                 "work measure of class {j} must be positive, got {work}"
             );
             let exit = oracle.exit_cost(j, &continuation);
-            assert!(exit.is_finite(), "exit cost of class {j} must be finite, got {exit}");
+            assert!(
+                exit.is_finite(),
+                "exit cost of class {j} must be finite, got {exit}"
+            );
             let rate = (costs[j] - exit) / work;
             if rate > best_rate {
                 best_rate = rate;
@@ -129,7 +138,11 @@ pub fn adaptive_greedy(costs: &[f64], oracle: &dyn WorkMeasure) -> AdaptiveGreed
     }
 
     let order = argsort_decreasing(&indices);
-    AdaptiveGreedyResult { indices, order, assignment_rates }
+    AdaptiveGreedyResult {
+        indices,
+        order,
+        assignment_rates,
+    }
 }
 
 /// The trivial work measure of the multiclass M/G/1 queue *without*

@@ -31,7 +31,9 @@ impl PartialOrd for PriorityIndex {
 
 impl Ord for PriorityIndex {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN rejected at construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN rejected at construction")
     }
 }
 

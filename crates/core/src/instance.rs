@@ -2,7 +2,9 @@
 
 use crate::job::Job;
 use rand::Rng;
-use ss_distributions::{dyn_dist, DynDist, Erlang, Exponential, HyperExponential, TwoPoint, Uniform};
+use ss_distributions::{
+    dyn_dist, DynDist, Erlang, Exponential, HyperExponential, TwoPoint, Uniform,
+};
 
 /// A batch of stochastic jobs to be scheduled on one or more machines
 /// (the §1 model family of the survey).
@@ -121,7 +123,10 @@ impl Default for InstanceGenerator {
 impl InstanceGenerator {
     /// Generator with a fixed family and default ranges.
     pub fn with_family(family: InstanceFamily) -> Self {
-        Self { family, ..Default::default() }
+        Self {
+            family,
+            ..Default::default()
+        }
     }
 
     /// Draw one processing-time distribution.

@@ -20,7 +20,10 @@ pub struct Job {
 impl Job {
     /// Create a job.
     pub fn new(id: usize, weight: f64, dist: DynDist) -> Self {
-        assert!(weight >= 0.0 && weight.is_finite(), "weight must be nonnegative");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be nonnegative"
+        );
         assert!(dist.mean() > 0.0, "processing time must have positive mean");
         Self { id, weight, dist }
     }
@@ -66,7 +69,12 @@ impl JobClass {
         assert!(arrival_rate >= 0.0 && arrival_rate.is_finite());
         assert!(holding_cost >= 0.0 && holding_cost.is_finite());
         assert!(service.mean() > 0.0);
-        Self { id, arrival_rate, service, holding_cost }
+        Self {
+            id,
+            arrival_rate,
+            service,
+            holding_cost,
+        }
     }
 
     /// Mean service time `1/mu_j`.

@@ -40,7 +40,10 @@ impl StaticListPolicy {
         for (i, &v) in sorted.iter().enumerate() {
             assert_eq!(i, v, "order must be a permutation of 0..n");
         }
-        Self { name: name.into(), order }
+        Self {
+            name: name.into(),
+            order,
+        }
     }
 
     /// Policy name.

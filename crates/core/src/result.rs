@@ -31,12 +31,27 @@ pub struct ComparisonTable {
 impl ComparisonTable {
     /// Create an empty table.
     pub fn new(title: impl Into<String>, value_label: impl Into<String>) -> Self {
-        Self { title: title.into(), value_label: value_label.into(), rows: Vec::new() }
+        Self {
+            title: title.into(),
+            value_label: value_label.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row with a confidence interval.
-    pub fn add(&mut self, name: impl Into<String>, value: f64, ci95: Option<f64>, note: impl Into<String>) {
-        self.rows.push(ComparisonRow { name: name.into(), value, ci95, note: note.into() });
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        ci95: Option<f64>,
+        note: impl Into<String>,
+    ) {
+        self.rows.push(ComparisonRow {
+            name: name.into(),
+            value,
+            ci95,
+            note: note.into(),
+        });
     }
 
     /// The row with the smallest value (for minimisation comparisons).
@@ -62,14 +77,20 @@ impl ComparisonTable {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("### {}\n\n", self.title));
-        out.push_str(&format!("| policy | {} | 95% CI | note |\n", self.value_label));
+        out.push_str(&format!(
+            "| policy | {} | 95% CI | note |\n",
+            self.value_label
+        ));
         out.push_str("|---|---|---|---|\n");
         for r in &self.rows {
             let ci = match r.ci95 {
                 Some(c) => format!("±{:.4}", c),
                 None => "—".to_string(),
             };
-            out.push_str(&format!("| {} | {:.4} | {} | {} |\n", r.name, r.value, ci, r.note));
+            out.push_str(&format!(
+                "| {} | {:.4} | {} | {} |\n",
+                r.name, r.value, ci, r.note
+            ));
         }
         out
     }

@@ -16,7 +16,10 @@ pub struct Deterministic {
 impl Deterministic {
     /// Create a point mass at `value`.
     pub fn new(value: f64) -> Self {
-        assert!(value >= 0.0 && value.is_finite(), "value must be nonnegative and finite");
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "value must be nonnegative and finite"
+        );
         Self { value }
     }
 

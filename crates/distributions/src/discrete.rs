@@ -21,10 +21,19 @@ impl DiscreteDist {
     pub fn new(values: Vec<f64>, probs: Vec<f64>) -> Self {
         assert_eq!(values.len(), probs.len(), "values/probs length mismatch");
         assert!(!values.is_empty(), "need at least one support point");
-        assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0), "support must be nonnegative");
-        assert!(probs.iter().all(|p| *p >= -1e-12), "probabilities must be nonnegative");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "support must be nonnegative"
+        );
+        assert!(
+            probs.iter().all(|p| *p >= -1e-12),
+            "probabilities must be nonnegative"
+        );
         let total: f64 = probs.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
 
         let mut pairs: Vec<(f64, f64)> = values.into_iter().zip(probs).collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
@@ -74,7 +83,11 @@ impl ServiceDistribution for DiscreteDist {
     }
 
     fn mean(&self) -> f64 {
-        self.values.iter().zip(&self.probs).map(|(v, p)| v * p).sum()
+        self.values
+            .iter()
+            .zip(&self.probs)
+            .map(|(v, p)| v * p)
+            .sum()
     }
 
     fn variance(&self) -> f64 {
@@ -130,7 +143,11 @@ impl ServiceDistribution for DiscreteDist {
     }
 
     fn describe(&self) -> String {
-        format!("Discrete({} points, mean={:.4})", self.values.len(), self.mean())
+        format!(
+            "Discrete({} points, mean={:.4})",
+            self.values.len(),
+            self.mean()
+        )
     }
 }
 
@@ -144,7 +161,9 @@ mod tests {
     fn moments() {
         let d = DiscreteDist::new(vec![1.0, 2.0, 4.0], vec![0.25, 0.5, 0.25]);
         assert!((d.mean() - 2.25).abs() < 1e-12);
-        let var = 0.25 * (1.0f64 - 2.25).powi(2) + 0.5 * (2.0f64 - 2.25).powi(2) + 0.25 * (4.0f64 - 2.25).powi(2);
+        let var = 0.25 * (1.0f64 - 2.25).powi(2)
+            + 0.5 * (2.0f64 - 2.25).powi(2)
+            + 0.25 * (4.0f64 - 2.25).powi(2);
         assert!((d.variance() - var).abs() < 1e-12);
     }
 

@@ -27,8 +27,16 @@ impl Empirical {
         observations.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = observations.len() as f64;
         let mean = observations.iter().sum::<f64>() / n;
-        let var = observations.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        Self { sorted: observations, mean, var }
+        let var = observations
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        Self {
+            sorted: observations,
+            mean,
+            var,
+        }
     }
 
     /// Number of observations backing this distribution.

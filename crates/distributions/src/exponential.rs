@@ -13,13 +13,19 @@ pub struct Exponential {
 impl Exponential {
     /// Create from the rate parameter `lambda > 0`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite"
+        );
         Self { rate }
     }
 
     /// Create from the mean `1/lambda`.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "mean must be positive and finite"
+        );
         Self { rate: 1.0 / mean }
     }
 

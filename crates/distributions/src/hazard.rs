@@ -31,7 +31,10 @@ pub enum HazardClass {
 /// (`S(x) < 1e-9`) are skipped, because the hazard is numerically unstable
 /// there and irrelevant for scheduling decisions.
 pub fn classify(dist: &dyn ServiceDistribution, horizon: f64, points: usize) -> HazardClass {
-    assert!(horizon > 0.0 && points >= 3, "need a positive horizon and at least 3 points");
+    assert!(
+        horizon > 0.0 && points >= 3,
+        "need a positive horizon and at least 3 points"
+    );
     let rel_tol = 1e-6;
     let mut increases = false;
     let mut decreases = false;
@@ -76,16 +79,28 @@ mod tests {
 
     #[test]
     fn erlang_and_uniform_are_ihr() {
-        assert_eq!(classify(&Erlang::new(3, 1.0), 10.0, 200), HazardClass::Increasing);
-        assert_eq!(classify(&Uniform::new(0.0, 2.0), 1.9, 100), HazardClass::Increasing);
-        assert_eq!(classify(&Weibull::new(2.0, 1.0), 4.0, 200), HazardClass::Increasing);
+        assert_eq!(
+            classify(&Erlang::new(3, 1.0), 10.0, 200),
+            HazardClass::Increasing
+        );
+        assert_eq!(
+            classify(&Uniform::new(0.0, 2.0), 1.9, 100),
+            HazardClass::Increasing
+        );
+        assert_eq!(
+            classify(&Weibull::new(2.0, 1.0), 4.0, 200),
+            HazardClass::Increasing
+        );
     }
 
     #[test]
     fn hyperexponential_is_dhr() {
         let d = HyperExponential::with_mean_scv(1.0, 4.0);
         assert_eq!(classify(&d, 8.0, 200), HazardClass::Decreasing);
-        assert_eq!(classify(&Weibull::new(0.6, 1.0), 4.0, 200), HazardClass::Decreasing);
+        assert_eq!(
+            classify(&Weibull::new(0.6, 1.0), 4.0, 200),
+            HazardClass::Decreasing
+        );
     }
 
     #[test]

@@ -22,9 +22,18 @@ impl HyperExponential {
         assert_eq!(probs.len(), rates.len(), "probs/rates length mismatch");
         assert!(!probs.is_empty(), "need at least one branch");
         let total: f64 = probs.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {total}");
-        assert!(probs.iter().all(|&p| p >= 0.0), "probabilities must be nonnegative");
-        assert!(rates.iter().all(|&r| r > 0.0 && r.is_finite()), "rates must be positive");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
+        assert!(
+            probs.iter().all(|&p| p >= 0.0),
+            "probabilities must be nonnegative"
+        );
+        assert!(
+            rates.iter().all(|&r| r > 0.0 && r.is_finite()),
+            "rates must be positive"
+        );
         Self { probs, rates }
     }
 
@@ -58,11 +67,7 @@ impl ServiceDistribution for HyperExponential {
     }
 
     fn mean(&self) -> f64 {
-        self.probs
-            .iter()
-            .zip(&self.rates)
-            .map(|(p, r)| p / r)
-            .sum()
+        self.probs.iter().zip(&self.rates).map(|(p, r)| p / r).sum()
     }
 
     fn variance(&self) -> f64 {
@@ -116,7 +121,12 @@ impl ServiceDistribution for HyperExponential {
     }
 
     fn describe(&self) -> String {
-        format!("H{}(mean={:.4}, scv={:.3})", self.probs.len(), self.mean(), self.scv())
+        format!(
+            "H{}(mean={:.4}, scv={:.3})",
+            self.probs.len(),
+            self.mean(),
+            self.scv()
+        )
     }
 }
 
@@ -131,7 +141,12 @@ mod tests {
     fn mean_scv_constructor_hits_targets() {
         for &(mean, scv) in &[(1.0, 2.0), (0.5, 4.0), (3.0, 10.0)] {
             let d = HyperExponential::with_mean_scv(mean, scv);
-            assert!((d.mean() - mean).abs() < 1e-9, "mean {} vs {}", d.mean(), mean);
+            assert!(
+                (d.mean() - mean).abs() < 1e-9,
+                "mean {} vs {}",
+                d.mean(),
+                mean
+            );
             assert!((d.scv() - scv).abs() < 1e-6, "scv {} vs {}", d.scv(), scv);
         }
     }

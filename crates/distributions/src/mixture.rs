@@ -14,12 +14,25 @@ pub struct Mixture {
 impl Mixture {
     /// Create from weights (must sum to 1) and components.
     pub fn new(weights: Vec<f64>, components: Vec<DynDist>) -> Self {
-        assert_eq!(weights.len(), components.len(), "weights/components length mismatch");
+        assert_eq!(
+            weights.len(),
+            components.len(),
+            "weights/components length mismatch"
+        );
         assert!(!weights.is_empty(), "need at least one component");
         let total: f64 = weights.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "weights must sum to 1, got {total}");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be nonnegative");
-        Self { weights, components }
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "weights must sum to 1, got {total}"
+        );
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be nonnegative"
+        );
+        Self {
+            weights,
+            components,
+        }
     }
 
     /// Mixture weights.
@@ -94,7 +107,11 @@ impl ServiceDistribution for Mixture {
     }
 
     fn describe(&self) -> String {
-        format!("Mixture({} components, mean={:.4})", self.components.len(), self.mean())
+        format!(
+            "Mixture({} components, mean={:.4})",
+            self.components.len(),
+            self.mean()
+        )
     }
 }
 
@@ -109,7 +126,10 @@ mod tests {
     fn mixture_moments() {
         let m = Mixture::new(
             vec![0.5, 0.5],
-            vec![dyn_dist(Deterministic::new(1.0)), dyn_dist(Deterministic::new(3.0))],
+            vec![
+                dyn_dist(Deterministic::new(1.0)),
+                dyn_dist(Deterministic::new(3.0)),
+            ],
         );
         assert!((m.mean() - 2.0).abs() < 1e-12);
         assert!((m.variance() - 1.0).abs() < 1e-12);
@@ -119,7 +139,10 @@ mod tests {
     fn mixture_of_exponentials_matches_hyperexp() {
         let m = Mixture::new(
             vec![0.3, 0.7],
-            vec![dyn_dist(Exponential::new(1.0)), dyn_dist(Exponential::new(4.0))],
+            vec![
+                dyn_dist(Exponential::new(1.0)),
+                dyn_dist(Exponential::new(4.0)),
+            ],
         );
         let h = crate::HyperExponential::new(vec![0.3, 0.7], vec![1.0, 4.0]);
         for &x in &[0.2, 0.8, 2.0] {
@@ -133,7 +156,10 @@ mod tests {
     fn sampling_stays_reasonable() {
         let m = Mixture::new(
             vec![0.5, 0.5],
-            vec![dyn_dist(Deterministic::new(2.0)), dyn_dist(Exponential::new(1.0))],
+            vec![
+                dyn_dist(Deterministic::new(2.0)),
+                dyn_dist(Exponential::new(1.0)),
+            ],
         );
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let mean: f64 = (0..100_000).map(|_| m.sample(&mut rng)).sum::<f64>() / 100_000.0;

@@ -2,7 +2,10 @@
 
 /// Sample mean and (population) variance of a slice.
 pub fn sample_stats(xs: &[f64]) -> (f64, f64) {
-    assert!(!xs.is_empty(), "cannot compute statistics of an empty sample");
+    assert!(
+        !xs.is_empty(),
+        "cannot compute statistics of an empty sample"
+    );
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;

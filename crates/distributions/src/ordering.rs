@@ -104,8 +104,12 @@ pub fn likelihood_ratio_order(
         return OrderCheck::Incomparable;
     }
     let tol = 1e-9;
-    let nondecreasing = ratios_ab.windows(2).all(|w| w[1] >= w[0] - tol * w[0].abs().max(1.0));
-    let nonincreasing = ratios_ab.windows(2).all(|w| w[1] <= w[0] + tol * w[0].abs().max(1.0));
+    let nondecreasing = ratios_ab
+        .windows(2)
+        .all(|w| w[1] >= w[0] - tol * w[0].abs().max(1.0));
+    let nonincreasing = ratios_ab
+        .windows(2)
+        .all(|w| w[1] <= w[0] + tol * w[0].abs().max(1.0));
     match (nondecreasing, nonincreasing) {
         (true, true) => OrderCheck::Equal,
         (true, false) => OrderCheck::ABeforeB,
@@ -138,10 +142,22 @@ mod tests {
     fn exponentials_are_st_ordered_by_rate() {
         let fast = Exponential::new(4.0); // mean 0.25
         let slow = Exponential::new(1.0); // mean 1.0
-        assert_eq!(stochastic_order(&fast, &slow, 10.0, 200), OrderCheck::ABeforeB);
-        assert_eq!(stochastic_order(&slow, &fast, 10.0, 200), OrderCheck::BBeforeA);
-        assert_eq!(hazard_rate_order(&fast, &slow, 10.0, 200), OrderCheck::ABeforeB);
-        assert_eq!(likelihood_ratio_order(&fast, &slow, 10.0, 200), OrderCheck::ABeforeB);
+        assert_eq!(
+            stochastic_order(&fast, &slow, 10.0, 200),
+            OrderCheck::ABeforeB
+        );
+        assert_eq!(
+            stochastic_order(&slow, &fast, 10.0, 200),
+            OrderCheck::BBeforeA
+        );
+        assert_eq!(
+            hazard_rate_order(&fast, &slow, 10.0, 200),
+            OrderCheck::ABeforeB
+        );
+        assert_eq!(
+            likelihood_ratio_order(&fast, &slow, 10.0, 200),
+            OrderCheck::ABeforeB
+        );
     }
 
     #[test]

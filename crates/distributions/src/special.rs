@@ -197,10 +197,7 @@ mod tests {
                 }
                 let exact = 1.0 - tail;
                 let got = reg_lower_gamma(k as f64, x);
-                assert!(
-                    (got - exact).abs() < 1e-9,
-                    "P({k},{x}): {got} vs {exact}"
-                );
+                assert!((got - exact).abs() < 1e-9, "P({k},{x}): {got} vs {exact}");
             }
         }
     }

@@ -21,7 +21,10 @@ impl TwoPoint {
     /// Create a two-point distribution.
     pub fn new(p_low: f64, low: f64, high: f64) -> Self {
         assert!((0.0..=1.0).contains(&p_low), "p_low must be a probability");
-        assert!(low >= 0.0 && high > low && high.is_finite(), "need 0 <= low < high");
+        assert!(
+            low >= 0.0 && high > low && high.is_finite(),
+            "need 0 <= low < high"
+        );
         Self { p_low, low, high }
     }
 
@@ -101,7 +104,10 @@ impl ServiceDistribution for TwoPoint {
     }
 
     fn describe(&self) -> String {
-        format!("TwoPoint(p={:.3}: {:.3}|{:.3})", self.p_low, self.low, self.high)
+        format!(
+            "TwoPoint(p={:.3}: {:.3}|{:.3})",
+            self.p_low, self.low, self.high
+        )
     }
 }
 

@@ -13,7 +13,10 @@ pub struct Uniform {
 impl Uniform {
     /// Create a uniform distribution on `[low, high]`.
     pub fn new(low: f64, high: f64) -> Self {
-        assert!(low >= 0.0 && high > low && high.is_finite(), "need 0 <= low < high < inf");
+        assert!(
+            low >= 0.0 && high > low && high.is_finite(),
+            "need 0 <= low < high < inf"
+        );
         Self { low, high }
     }
 

@@ -36,8 +36,15 @@ pub struct LinearProgram {
 impl LinearProgram {
     /// A minimisation problem with the given objective coefficients.
     pub fn minimize(objective: Vec<f64>) -> Self {
-        assert!(!objective.is_empty(), "objective must have at least one variable");
-        Self { objective, constraints: Vec::new(), maximize: false }
+        assert!(
+            !objective.is_empty(),
+            "objective must have at least one variable"
+        );
+        Self {
+            objective,
+            constraints: Vec::new(),
+            maximize: false,
+        }
     }
 
     /// A maximisation problem with the given objective coefficients.
@@ -45,8 +52,15 @@ impl LinearProgram {
     /// Internally solved as `min -c·x`; the reported objective value is
     /// converted back to the maximisation value.
     pub fn maximize(objective: Vec<f64>) -> Self {
-        assert!(!objective.is_empty(), "objective must have at least one variable");
-        Self { objective, constraints: Vec::new(), maximize: true }
+        assert!(
+            !objective.is_empty(),
+            "objective must have at least one variable"
+        );
+        Self {
+            objective,
+            constraints: Vec::new(),
+            maximize: true,
+        }
     }
 
     /// Number of decision variables.
@@ -68,8 +82,15 @@ impl LinearProgram {
             self.objective.len(),
             "constraint arity must match the number of variables"
         );
-        assert!(coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(), "coefficients must be finite");
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "coefficients must be finite"
+        );
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
         self
     }
 

@@ -271,7 +271,12 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
         }
     }
     let objective: f64 = objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    Ok(LpSolution { status: LpStatus::Optimal, objective, x, iterations: total_iters })
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        iterations: total_iters,
+    })
 }
 
 /// Flip the relation when the row was multiplied by -1 to make the RHS

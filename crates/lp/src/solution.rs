@@ -56,7 +56,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
     }
 }

@@ -42,9 +42,8 @@ pub fn relative_value_iteration(
         for s in 0..n {
             let mut best = f64::NEG_INFINITY;
             for a in 0..mdp.num_actions(s) {
-                let q = mdp.reward(s, a)
-                    + tau * mdp.expected_next_value(s, a, &h)
-                    + (1.0 - tau) * h[s];
+                let q =
+                    mdp.reward(s, a) + tau * mdp.expected_next_value(s, a, &h) + (1.0 - tau) * h[s];
                 if q > best {
                     best = q;
                 }
@@ -78,7 +77,12 @@ pub fn relative_value_iteration(
         }
         policy[s] = best_a;
     }
-    AverageSolution { gain, bias: h, policy, iterations }
+    AverageSolution {
+        gain,
+        bias: h,
+        policy,
+        iterations,
+    }
 }
 
 /// Long-run average reward of a fixed stationary deterministic policy,

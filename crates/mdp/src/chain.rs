@@ -23,7 +23,10 @@ impl MarkovChain {
             assert_eq!(row.len(), n, "row {i} has wrong length");
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-8, "row {i} sums to {s}, expected 1");
-            assert!(row.iter().all(|&x| x >= -1e-12), "negative probability in row {i}");
+            assert!(
+                row.iter().all(|&x| x >= -1e-12),
+                "negative probability in row {i}"
+            );
         }
         Self { p }
     }

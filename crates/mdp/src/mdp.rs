@@ -132,7 +132,10 @@ impl MdpBuilder {
     /// Start building an MDP with `num_states` states.
     pub fn new(num_states: usize) -> Self {
         assert!(num_states > 0, "MDP needs at least one state");
-        Self { num_states, actions: vec![Vec::new(); num_states] }
+        Self {
+            num_states,
+            actions: vec![Vec::new(); num_states],
+        }
     }
 
     /// Add an action to state `s` with immediate reward `reward` and the
@@ -144,7 +147,10 @@ impl MdpBuilder {
         transitions: Vec<(usize, f64)>,
     ) -> &mut Self {
         assert!(s < self.num_states, "state {s} out of range");
-        assert!(!transitions.is_empty(), "action must have at least one transition");
+        assert!(
+            !transitions.is_empty(),
+            "action must have at least one transition"
+        );
         let total: f64 = transitions.iter().map(|(_, p)| p).sum();
         assert!(
             (total - 1.0).abs() < 1e-8,
@@ -168,7 +174,10 @@ impl MdpBuilder {
         for (s, acts) in self.actions.iter().enumerate() {
             assert!(!acts.is_empty(), "state {s} has no actions");
         }
-        Mdp { num_states: self.num_states, actions: self.actions }
+        Mdp {
+            num_states: self.num_states,
+            actions: self.actions,
+        }
     }
 }
 

@@ -36,7 +36,12 @@ pub fn policy_iteration(mdp: &Mdp, discount: f64) -> DiscountedSolution {
             break;
         }
     }
-    DiscountedSolution { values, policy, iterations, residual: 0.0 }
+    DiscountedSolution {
+        values,
+        policy,
+        iterations,
+        residual: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -49,7 +54,11 @@ mod tests {
     fn agrees_with_value_iteration() {
         let mut b = MdpBuilder::new(5);
         for s in 0..5 {
-            b.add_action(s, (s as f64).sin().abs(), vec![((s + 1) % 5, 0.6), (s, 0.4)]);
+            b.add_action(
+                s,
+                (s as f64).sin().abs(),
+                vec![((s + 1) % 5, 0.6), (s, 0.4)],
+            );
             b.add_action(s, 0.3 * s as f64, vec![((s + 2) % 5, 1.0)]);
             b.add_action(s, 0.1, vec![(0, 0.5), (4, 0.5)]);
         }
@@ -57,7 +66,11 @@ mod tests {
         let pi_sol = policy_iteration(&m, 0.9);
         let vi_sol = value_iteration(
             &m,
-            &ValueIterationOptions { discount: 0.9, tolerance: 1e-12, max_iterations: 200_000 },
+            &ValueIterationOptions {
+                discount: 0.9,
+                tolerance: 1e-12,
+                max_iterations: 200_000,
+            },
         );
         for s in 0..5 {
             assert!(

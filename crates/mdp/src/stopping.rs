@@ -77,7 +77,11 @@ pub fn optimal_stopping(problem: &StoppingProblem) -> StoppingSolution {
             problem.stop_reward[s] >= cont - 1e-12
         })
         .collect();
-    StoppingSolution { values, stop, iterations }
+    StoppingSolution {
+        values,
+        stop,
+        iterations,
+    }
 }
 
 /// Build the equivalent two-action MDP (action 0 = continue, action 1 =
@@ -86,7 +90,11 @@ pub fn stopping_as_mdp(problem: &StoppingProblem) -> Mdp {
     let n = problem.continue_reward.len();
     let mut b = crate::mdp::MdpBuilder::new(n + 1);
     for s in 0..n {
-        b.add_action(s, problem.continue_reward[s], problem.transitions[s].clone());
+        b.add_action(
+            s,
+            problem.continue_reward[s],
+            problem.transitions[s].clone(),
+        );
         b.add_action(s, problem.stop_reward[s], vec![(n, 1.0)]);
     }
     b.add_action(n, 0.0, vec![(n, 1.0)]);
@@ -134,7 +142,11 @@ mod tests {
         let mdp = stopping_as_mdp(&p);
         let vi = value_iteration(
             &mdp,
-            &ValueIterationOptions { discount: 0.9, tolerance: 1e-12, max_iterations: 200_000 },
+            &ValueIterationOptions {
+                discount: 0.9,
+                tolerance: 1e-12,
+                max_iterations: 200_000,
+            },
         );
         for s in 0..2 {
             assert!((sol.values[s] - vi.values[s]).abs() < 1e-7);

@@ -15,7 +15,11 @@ pub struct ValueIterationOptions {
 
 impl Default for ValueIterationOptions {
     fn default() -> Self {
-        Self { discount: 0.95, tolerance: 1e-10, max_iterations: 100_000 }
+        Self {
+            discount: 0.95,
+            tolerance: 1e-10,
+            max_iterations: 100_000,
+        }
     }
 }
 
@@ -75,7 +79,12 @@ pub fn value_iteration(mdp: &Mdp, opts: &ValueIterationOptions) -> DiscountedSol
         }
         policy[s] = best_a;
     }
-    DiscountedSolution { values, policy, iterations, residual }
+    DiscountedSolution {
+        values,
+        policy,
+        iterations,
+        residual,
+    }
 }
 
 #[cfg(test)]
@@ -88,8 +97,18 @@ mod tests {
         let mut b = MdpBuilder::new(1);
         b.add_action(0, 1.0, vec![(0, 1.0)]);
         let m = b.build();
-        let sol = value_iteration(&m, &ValueIterationOptions { discount: 0.9, ..Default::default() });
-        assert!((sol.values[0] - 10.0).abs() < 1e-6, "value {}", sol.values[0]);
+        let sol = value_iteration(
+            &m,
+            &ValueIterationOptions {
+                discount: 0.9,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (sol.values[0] - 10.0).abs() < 1e-6,
+            "value {}",
+            sol.values[0]
+        );
     }
 
     #[test]
@@ -99,7 +118,13 @@ mod tests {
         b.add_action(0, 0.0, vec![(0, 1.0)]);
         b.add_action(0, 1.0, vec![(0, 1.0)]);
         let m = b.build();
-        let sol = value_iteration(&m, &ValueIterationOptions { discount: 0.5, ..Default::default() });
+        let sol = value_iteration(
+            &m,
+            &ValueIterationOptions {
+                discount: 0.5,
+                ..Default::default()
+            },
+        );
         assert_eq!(sol.policy[0], 1);
         assert!((sol.values[0] - 2.0).abs() < 1e-8);
     }
@@ -120,9 +145,21 @@ mod tests {
             b.add_action(2, 0.0, vec![(2, 1.0)]);
             b.build()
         };
-        let patient = value_iteration(&build(), &ValueIterationOptions { discount: 0.9, ..Default::default() });
+        let patient = value_iteration(
+            &build(),
+            &ValueIterationOptions {
+                discount: 0.9,
+                ..Default::default()
+            },
+        );
         assert_eq!(patient.policy[0], 1);
-        let impatient = value_iteration(&build(), &ValueIterationOptions { discount: 0.4, ..Default::default() });
+        let impatient = value_iteration(
+            &build(),
+            &ValueIterationOptions {
+                discount: 0.4,
+                ..Default::default()
+            },
+        );
         assert_eq!(impatient.policy[0], 0);
     }
 
@@ -136,7 +173,11 @@ mod tests {
             b.add_action(s, 0.5, vec![((s + 2) % 4, 1.0)]);
         }
         let m = b.build();
-        let opts = ValueIterationOptions { discount: 0.8, tolerance: 1e-12, ..Default::default() };
+        let opts = ValueIterationOptions {
+            discount: 0.8,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let sol = value_iteration(&m, &opts);
         let v_greedy = m.evaluate_policy_discounted(&sol.policy, 0.8);
         for s in 0..4 {

@@ -79,7 +79,10 @@ pub struct RegionLpResult {
 /// as `2^N`.
 pub fn region_lp(classes: &[JobClass]) -> RegionLpResult {
     let n = classes.len();
-    assert!((1..=12).contains(&n), "region LP limited to 1..=12 classes, got {n}");
+    assert!(
+        (1..=12).contains(&n),
+        "region LP limited to 1..=12 classes, got {n}"
+    );
     assert!(total_load(classes) < 1.0, "unstable load");
 
     let objective: Vec<f64> = classes.iter().map(|c| c.cmu_index()).collect();
@@ -107,7 +110,11 @@ pub fn region_lp(classes: &[JobClass]) -> RegionLpResult {
         .collect();
     // Add back the policy-independent in-service cost Σ_j c_j ρ_j.
     let in_service: f64 = classes.iter().map(|c| c.holding_cost * c.load()).sum();
-    RegionLpResult { holding_cost_rate: sol.objective + in_service, x, waits }
+    RegionLpResult {
+        holding_cost_rate: sol.objective + in_service,
+        x,
+        waits,
+    }
 }
 
 /// The cµ-rule derived through the conservation-law framework: run the
@@ -162,16 +169,23 @@ impl WorkMeasure for KlimovWorkMeasure<'_> {
     }
 
     fn work(&self, class: usize, continuation: &[bool]) -> f64 {
-        assert!(continuation[class], "candidate must belong to its continuation set");
-        let members: Vec<usize> =
-            (0..self.network.num_classes()).filter(|&j| continuation[j]).collect();
+        assert!(
+            continuation[class],
+            "candidate must belong to its continuation set"
+        );
+        let members: Vec<usize> = (0..self.network.num_classes())
+            .filter(|&j| continuation[j])
+            .collect();
         let t = self.solve_restricted(continuation, |cls| self.network.services[cls].mean());
         let pos = members.iter().position(|&x| x == class).unwrap();
         t[pos]
     }
 
     fn exit_cost(&self, class: usize, continuation: &[bool]) -> f64 {
-        assert!(continuation[class], "candidate must belong to its continuation set");
+        assert!(
+            continuation[class],
+            "candidate must belong to its continuation set"
+        );
         let n = self.network.num_classes();
         let members: Vec<usize> = (0..n).filter(|&j| continuation[j]).collect();
         let e = self.solve_restricted(continuation, |cls| {
@@ -211,7 +225,12 @@ mod tests {
         vec![
             JobClass::new(0, 0.20, dyn_dist(Exponential::with_mean(1.0)), 1.0),
             JobClass::new(1, 0.25, dyn_dist(Erlang::with_mean(3, 0.8)), 3.0),
-            JobClass::new(2, 0.10, dyn_dist(HyperExponential::with_mean_scv(1.5, 4.0)), 2.0),
+            JobClass::new(
+                2,
+                0.10,
+                dyn_dist(HyperExponential::with_mean_scv(1.5, 4.0)),
+                2.0,
+            ),
         ]
     }
 
@@ -296,7 +315,12 @@ mod tests {
 
     #[test]
     fn region_lp_single_class_is_pollaczek_khinchine() {
-        let classes = vec![JobClass::new(0, 0.5, dyn_dist(Exponential::with_mean(1.0)), 2.0)];
+        let classes = vec![JobClass::new(
+            0,
+            0.5,
+            dyn_dist(Exponential::with_mean(1.0)),
+            2.0,
+        )];
         let lp = region_lp(&classes);
         let pk = crate::cobham::pollaczek_khinchine_wait(&classes);
         assert!((lp.waits[0] - pk).abs() < 1e-9);
@@ -339,7 +363,10 @@ mod tests {
     fn klimov_work_measure_without_feedback_is_mean_service() {
         let net = KlimovNetwork::new(
             vec![0.2, 0.3],
-            vec![dyn_dist(Exponential::with_mean(1.5)), dyn_dist(Exponential::with_mean(0.5))],
+            vec![
+                dyn_dist(Exponential::with_mean(1.5)),
+                dyn_dist(Exponential::with_mean(0.5)),
+            ],
             vec![1.0, 2.0],
             vec![vec![0.0; 2]; 2],
         );
@@ -352,7 +379,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn region_lp_rejects_unstable_instances() {
-        let classes = vec![JobClass::new(0, 2.0, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let classes = vec![JobClass::new(
+            0,
+            2.0,
+            dyn_dist(Exponential::with_mean(1.0)),
+            1.0,
+        )];
         let _ = region_lp(&classes);
     }
 }

@@ -78,7 +78,11 @@ pub fn mg1_nonpreemptive_priority(
         .enumerate()
         .map(|(k, c)| c.holding_cost * number_in_system[k])
         .sum();
-    PriorityQueueMeans { wait, number_in_system, holding_cost_rate }
+    PriorityQueueMeans {
+        wait,
+        number_in_system,
+        holding_cost_rate,
+    }
 }
 
 /// Classical **preemptive-resume** priority formulas for the M/G/1 queue.
@@ -125,7 +129,11 @@ pub fn mg1_preemptive_priority(
         .enumerate()
         .map(|(k, c)| c.holding_cost * number_in_system[k])
         .sum();
-    PriorityQueueMeans { wait, number_in_system, holding_cost_rate }
+    PriorityQueueMeans {
+        wait,
+        number_in_system,
+        holding_cost_rate,
+    }
 }
 
 /// Evaluate every static priority order exactly and return
@@ -178,17 +186,32 @@ mod tests {
     #[test]
     fn pollaczek_khinchine_md1_and_mm1() {
         // M/M/1: W = rho / (mu - lambda); M/D/1 waits are half as long.
-        let mm1 = vec![JobClass::new(0, 0.5, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let mm1 = vec![JobClass::new(
+            0,
+            0.5,
+            dyn_dist(Exponential::with_mean(1.0)),
+            1.0,
+        )];
         let w = pollaczek_khinchine_wait(&mm1);
         assert!((w - 1.0).abs() < 1e-12, "M/M/1 wait {w}");
-        let md1 = vec![JobClass::new(0, 0.5, dyn_dist(Deterministic::new(1.0)), 1.0)];
+        let md1 = vec![JobClass::new(
+            0,
+            0.5,
+            dyn_dist(Deterministic::new(1.0)),
+            1.0,
+        )];
         let w_d = pollaczek_khinchine_wait(&md1);
         assert!((w_d - 0.5).abs() < 1e-12, "M/D/1 wait {w_d}");
     }
 
     #[test]
     fn single_class_priority_reduces_to_pk() {
-        let classes = vec![JobClass::new(0, 0.4, dyn_dist(Exponential::with_mean(1.5)), 2.0)];
+        let classes = vec![JobClass::new(
+            0,
+            0.4,
+            dyn_dist(Exponential::with_mean(1.5)),
+            2.0,
+        )];
         let res = mg1_nonpreemptive_priority(&classes, &[0]);
         assert!((res.wait[0] - pollaczek_khinchine_wait(&classes)).abs() < 1e-12);
     }
@@ -223,7 +246,10 @@ mod tests {
         let solo_wait = pollaczek_khinchine_wait(&solo);
         let t1 = res.wait[1] + classes[1].mean_service();
         let solo_t = solo_wait + classes[1].mean_service();
-        assert!((t1 - solo_t).abs() < 1e-9, "top class T {t1} vs solo {solo_t}");
+        assert!(
+            (t1 - solo_t).abs() < 1e-9,
+            "top class T {t1} vs solo {solo_t}"
+        );
     }
 
     #[test]
@@ -238,7 +264,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn unstable_load_is_rejected() {
-        let classes = vec![JobClass::new(0, 2.0, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let classes = vec![JobClass::new(
+            0,
+            2.0,
+            dyn_dist(Exponential::with_mean(1.0)),
+            1.0,
+        )];
         let _ = pollaczek_khinchine_wait(&classes);
     }
 }

@@ -52,7 +52,10 @@ pub fn subset_lower_bound(classes: &[JobClass], subset: &[usize]) -> f64 {
     let mut order: Vec<usize> = subset.to_vec();
     order.extend((0..classes.len()).filter(|&j| !in_subset(j)));
     let means = mg1_nonpreemptive_priority(classes, &order);
-    subset.iter().map(|&j| classes[j].load() * means.wait[j]).sum()
+    subset
+        .iter()
+        .map(|&j| classes[j].load() * means.wait[j])
+        .sum()
 }
 
 /// Check that a vector of per-class mean waits is (approximately) inside
@@ -63,7 +66,11 @@ pub fn is_achievable(classes: &[JobClass], waits: &[f64], tolerance: f64) -> boo
     let n = classes.len();
     assert!(n <= 12);
     // Full-set equality.
-    let total: f64 = classes.iter().enumerate().map(|(j, c)| c.load() * waits[j]).sum();
+    let total: f64 = classes
+        .iter()
+        .enumerate()
+        .map(|(j, c)| c.load() * waits[j])
+        .sum();
     if (total - conserved_work(classes)).abs() > tolerance * conserved_work(classes).max(1.0) {
         return false;
     }
@@ -92,7 +99,12 @@ mod tests {
         vec![
             JobClass::new(0, 0.2, dyn_dist(Exponential::with_mean(1.0)), 1.0),
             JobClass::new(1, 0.25, dyn_dist(Erlang::with_mean(3, 0.8)), 3.0),
-            JobClass::new(2, 0.1, dyn_dist(HyperExponential::with_mean_scv(1.5, 4.0)), 2.0),
+            JobClass::new(
+                2,
+                0.1,
+                dyn_dist(HyperExponential::with_mean_scv(1.5, 4.0)),
+                2.0,
+            ),
         ]
     }
 
@@ -122,7 +134,10 @@ mod tests {
         let classes = classes_3();
         for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2]] {
             let waits = mg1_nonpreemptive_priority(&classes, &order).wait;
-            assert!(is_achievable(&classes, &waits, 1e-6), "order {order:?} must be achievable");
+            assert!(
+                is_achievable(&classes, &waits, 1e-6),
+                "order {order:?} must be achievable"
+            );
         }
     }
 

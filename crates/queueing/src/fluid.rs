@@ -54,7 +54,13 @@ impl FluidNetwork {
             assert!(total <= 1.0 + 1e-9);
         }
         assert!(service_rates.iter().all(|&m| m > 0.0));
-        Self { arrival_rates, service_rates, stations, routing, holding_costs }
+        Self {
+            arrival_rates,
+            service_rates,
+            stations,
+            routing,
+            holding_costs,
+        }
     }
 
     /// Derive the fluid network from a stochastic [`MultiClassNetwork`]
@@ -69,7 +75,11 @@ impl FluidNetwork {
         }
         Self::new(
             network.classes.iter().map(|c| c.arrival_rate).collect(),
-            network.classes.iter().map(|c| 1.0 / c.service.mean()).collect(),
+            network
+                .classes
+                .iter()
+                .map(|c| 1.0 / c.service.mean())
+                .collect(),
             network.classes.iter().map(|c| c.station).collect(),
             routing,
             network.classes.iter().map(|c| c.holding_cost).collect(),
@@ -196,7 +206,12 @@ pub fn integrate_priority_fluid(
         times.push(horizon);
         levels.push(x.clone());
     }
-    FluidTrajectory { times, levels, total_cost, drain_time }
+    FluidTrajectory {
+        times,
+        levels,
+        total_cost,
+        drain_time,
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +236,11 @@ mod tests {
         let traj = integrate_priority_fluid(&net, &[vec![0]], &[4.0], 5.0, 0.001, 6);
         // Drains at rate 2, so empty at t = 2; cost = integral of x = 4^2/(2*2) = 4.
         assert!(traj.drain_time.unwrap() <= 2.01);
-        assert!((traj.total_cost - 4.0).abs() < 0.05, "cost {}", traj.total_cost);
+        assert!(
+            (traj.total_cost - 4.0).abs() < 0.05,
+            "cost {}",
+            traj.total_cost
+        );
     }
 
     #[test]
@@ -258,7 +277,10 @@ mod tests {
         );
         let traj = integrate_priority_fluid(&net, &[vec![0], vec![1]], &[0.0, 0.0], 10.0, 0.001, 5);
         let last = traj.levels.last().unwrap();
-        assert!(last.iter().all(|&x| x < 1e-6), "buffers should stay empty: {last:?}");
+        assert!(
+            last.iter().all(|&x| x < 1e-6),
+            "buffers should stay empty: {last:?}"
+        );
     }
 
     #[test]
@@ -309,6 +331,9 @@ mod tests {
         let traj = integrate_priority_fluid(&fluid, &[vec![0]], &[0.0], 50.0, 0.01, 5);
         let fluid_final = traj.levels.last().unwrap()[0];
         assert!(fluid_final < 1e-6);
-        assert!(scaled < 0.05, "scaled stochastic queue {scaled} should be near the fluid level 0");
+        assert!(
+            scaled < 0.05,
+            "scaled stochastic queue {scaled} should be near the fluid level 0"
+        );
     }
 }

@@ -74,7 +74,12 @@ impl KlimovNetwork {
         }
         assert!(arrival_rates.iter().all(|&a| a >= 0.0));
         assert!(holding_costs.iter().all(|&c| c >= 0.0));
-        Self { arrival_rates, services, holding_costs, routing }
+        Self {
+            arrival_rates,
+            services,
+            holding_costs,
+            routing,
+        }
     }
 
     /// Number of classes.
@@ -164,8 +169,7 @@ pub fn klimov_indices(network: &KlimovNetwork) -> Vec<f64> {
                 continue;
             }
             // Candidate continuation set S' = assigned ∪ {i}.
-            let members: Vec<usize> =
-                (0..n).filter(|&j| assigned[j] || j == i).collect();
+            let members: Vec<usize> = (0..n).filter(|&j| assigned[j] || j == i).collect();
             let pos = |class: usize| members.iter().position(|&m| m == class).unwrap();
             let m = members.len();
             // T_a = beta_a + sum_{b in S'} p_ab T_b
@@ -238,7 +242,13 @@ pub fn simulate_klimov(
     let mut next_arrival: Vec<f64> = network
         .arrival_rates
         .iter()
-        .map(|&a| if a > 0.0 { sample_exp(rng, a) } else { f64::INFINITY })
+        .map(|&a| {
+            if a > 0.0 {
+                sample_exp(rng, a)
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
     let mut counts = vec![0usize; n];
     let mut trackers: Vec<TimeWeighted> = (0..n).map(|_| TimeWeighted::new(0.0, 0.0)).collect();
@@ -320,7 +330,11 @@ pub fn simulate_klimov(
         .zip(&network.holding_costs)
         .map(|(l, c)| l * c)
         .sum();
-    KlimovSimResult { mean_number, holding_cost_rate, services_completed }
+    KlimovSimResult {
+        mean_number,
+        holding_cost_rate,
+        services_completed,
+    }
 }
 
 fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
@@ -422,7 +436,10 @@ mod tests {
         }
         let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let klimov = klimov_order(&net);
-        let pos = orders.iter().position(|o| *o == klimov).expect("klimov order is a permutation");
+        let pos = orders
+            .iter()
+            .position(|o| *o == klimov)
+            .expect("klimov order is a permutation");
         assert!(
             costs[pos] <= best * 1.06,
             "Klimov order {klimov:?} cost {} vs best {best} (all: {costs:?})",
@@ -451,8 +468,7 @@ mod tests {
         let sim = simulate_klimov(&net, &order, 120_000.0, 4_000.0, &mut rng);
         for i in 0..3 {
             assert!(
-                (sim.mean_number[i] - exact.number_in_system[i]).abs()
-                    / exact.number_in_system[i]
+                (sim.mean_number[i] - exact.number_in_system[i]).abs() / exact.number_in_system[i]
                     < 0.12,
                 "class {i}: sim {} vs exact {}",
                 sim.mean_number[i],

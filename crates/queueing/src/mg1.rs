@@ -100,17 +100,19 @@ pub fn simulate_mg1(config: &Mg1Config, rng: &mut dyn RngCore) -> Mg1Result {
     let mut in_service: Option<Customer> = None;
     let mut service_completion = f64::INFINITY;
     let mut clock = 0.0;
-    let mut number_trackers: Vec<TimeWeighted> =
-        (0..n_classes).map(|_| TimeWeighted::new(0.0, 0.0)).collect();
+    let mut number_trackers: Vec<TimeWeighted> = (0..n_classes)
+        .map(|_| TimeWeighted::new(0.0, 0.0))
+        .collect();
     let mut counts = vec![0usize; n_classes];
     let mut warmup_done = false;
 
     let mut wait_sum = vec![0.0; n_classes];
     let mut completed = vec![0u64; n_classes];
 
-    let update_count = |trackers: &mut Vec<TimeWeighted>, counts: &[usize], class: usize, time: f64| {
-        trackers[class].update(time, counts[class] as f64);
-    };
+    let update_count =
+        |trackers: &mut Vec<TimeWeighted>, counts: &[usize], class: usize, time: f64| {
+            trackers[class].update(time, counts[class] as f64);
+        };
 
     loop {
         // Next event: earliest arrival or the service completion.
@@ -174,7 +176,9 @@ pub fn simulate_mg1(config: &Mg1Config, rng: &mut dyn RngCore) -> Mg1Result {
             }
         } else {
             // Service completion.
-            let done = in_service.take().expect("completion without a job in service");
+            let done = in_service
+                .take()
+                .expect("completion without a job in service");
             let class = done.class;
             counts[class] -= 1;
             update_count(&mut number_trackers, &counts, class, clock);
@@ -213,10 +217,18 @@ pub fn simulate_mg1(config: &Mg1Config, rng: &mut dyn RngCore) -> Mg1Result {
 
     let effective_start = config.warmup.min(clock);
     let span_end = config.horizon.max(effective_start + 1e-9);
-    let mean_number: Vec<f64> =
-        number_trackers.iter().map(|t| t.time_average(span_end)).collect();
+    let mean_number: Vec<f64> = number_trackers
+        .iter()
+        .map(|t| t.time_average(span_end))
+        .collect();
     let mean_wait: Vec<f64> = (0..n_classes)
-        .map(|c| if completed[c] > 0 { wait_sum[c] / completed[c] as f64 } else { 0.0 })
+        .map(|c| {
+            if completed[c] > 0 {
+                wait_sum[c] / completed[c] as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
     let holding_cost_rate = config
         .classes
@@ -224,7 +236,12 @@ pub fn simulate_mg1(config: &Mg1Config, rng: &mut dyn RngCore) -> Mg1Result {
         .enumerate()
         .map(|(c, cl)| cl.holding_cost * mean_number[c])
         .sum();
-    Mg1Result { mean_number, mean_wait, holding_cost_rate, completed }
+    Mg1Result {
+        mean_number,
+        mean_wait,
+        holding_cost_rate,
+        completed,
+    }
 }
 
 fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
@@ -236,8 +253,10 @@ fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cobham::{mg1_nonpreemptive_priority, mg1_preemptive_priority, pollaczek_khinchine_wait};
     use crate::cmu::cmu_order;
+    use crate::cobham::{
+        mg1_nonpreemptive_priority, mg1_preemptive_priority, pollaczek_khinchine_wait,
+    };
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use ss_distributions::{dyn_dist, Erlang, Exponential};
@@ -250,7 +269,12 @@ mod tests {
     }
 
     fn run(classes: Vec<JobClass>, discipline: Discipline, seed: u64) -> Mg1Result {
-        let config = Mg1Config { classes, discipline, horizon: 60_000.0, warmup: 2_000.0 };
+        let config = Mg1Config {
+            classes,
+            discipline,
+            horizon: 60_000.0,
+            warmup: 2_000.0,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         simulate_mg1(&config, &mut rng)
     }
@@ -317,7 +341,11 @@ mod tests {
         let mut reverse = cmu.clone();
         reverse.reverse();
         let res_cmu = run(classes.clone(), Discipline::NonpreemptivePriority(cmu), 4);
-        let res_rev = run(classes.clone(), Discipline::NonpreemptivePriority(reverse), 4);
+        let res_rev = run(
+            classes.clone(),
+            Discipline::NonpreemptivePriority(reverse),
+            4,
+        );
         let res_fifo = run(classes, Discipline::Fifo, 4);
         assert!(res_cmu.holding_cost_rate < res_rev.holding_cost_rate);
         assert!(res_cmu.holding_cost_rate < res_fifo.holding_cost_rate);

@@ -56,10 +56,16 @@ impl MultiClassNetwork {
         for (k, c) in classes.iter().enumerate() {
             let total: f64 = c.routing.iter().map(|(_, p)| p).sum();
             assert!(total <= 1.0 + 1e-9, "class {k} routing mass {total} > 1");
-            assert!(c.routing.iter().all(|&(j, p)| j < classes.len() && p >= -1e-12));
+            assert!(c
+                .routing
+                .iter()
+                .all(|&(j, p)| j < classes.len() && p >= -1e-12));
             assert!(c.arrival_rate >= 0.0 && c.holding_cost >= 0.0);
         }
-        Self { classes, num_stations }
+        Self {
+            classes,
+            num_stations,
+        }
     }
 
     /// Effective arrival rate per class (external + internal), solving the
@@ -129,7 +135,10 @@ pub fn simulate_network(
     let mut rank = vec![usize::MAX; n];
     for (s, order) in station_priority.iter().enumerate() {
         for (pos, &k) in order.iter().enumerate() {
-            assert_eq!(network.classes[k].station, s, "class {k} is not served at station {s}");
+            assert_eq!(
+                network.classes[k].station, s,
+                "class {k} is not served at station {s}"
+            );
             rank[k] = pos;
         }
     }
@@ -143,7 +152,13 @@ pub fn simulate_network(
     let mut next_arrival: Vec<f64> = network
         .classes
         .iter()
-        .map(|c| if c.arrival_rate > 0.0 { sample_exp(rng, c.arrival_rate) } else { f64::INFINITY })
+        .map(|c| {
+            if c.arrival_rate > 0.0 {
+                sample_exp(rng, c.arrival_rate)
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
     // Per-station in-service class and completion time.
     let mut in_service: Vec<Option<usize>> = vec![None; s_count];
@@ -197,7 +212,9 @@ pub fn simulate_network(
             next_arrival[arr_class] =
                 clock + sample_exp(rng, network.classes[arr_class].arrival_rate);
         } else {
-            let class = in_service[comp_station].take().expect("completion without service");
+            let class = in_service[comp_station]
+                .take()
+                .expect("completion without service");
             completion[comp_station] = f64::INFINITY;
             counts[class] -= 1;
             trackers[class].update(clock, counts[class] as f64);
@@ -304,8 +321,16 @@ mod tests {
         let net = tandem();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let res = simulate_network(&net, &[vec![0], vec![1]], 120_000.0, 4_000.0, 50, &mut rng);
-        assert!((res.mean_number[0] - 1.0).abs() < 0.12, "L0 = {}", res.mean_number[0]);
-        assert!((res.mean_number[1] - 1.5).abs() < 0.2, "L1 = {}", res.mean_number[1]);
+        assert!(
+            (res.mean_number[0] - 1.0).abs() < 0.12,
+            "L0 = {}",
+            res.mean_number[0]
+        );
+        assert!(
+            (res.mean_number[1] - 1.5).abs() < 0.2,
+            "L1 = {}",
+            res.mean_number[1]
+        );
     }
 
     #[test]

@@ -56,7 +56,13 @@ pub fn simulate_mmm_priority(
     let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
     let mut next_arrival: Vec<f64> = classes
         .iter()
-        .map(|c| if c.arrival_rate > 0.0 { sample_exp(rng, c.arrival_rate) } else { f64::INFINITY })
+        .map(|c| {
+            if c.arrival_rate > 0.0 {
+                sample_exp(rng, c.arrival_rate)
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
     // Busy servers: completion times + class.
     let mut busy: Vec<(f64, usize)> = Vec::with_capacity(servers);
@@ -72,10 +78,7 @@ pub fn simulate_mmm_priority(
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
-        let next_completion = busy
-            .iter()
-            .map(|&(t, _)| t)
-            .fold(f64::INFINITY, f64::min);
+        let next_completion = busy.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
         let t = arr_time.min(next_completion);
         if t > horizon {
             break;
@@ -109,7 +112,9 @@ pub fn simulate_mmm_priority(
 
         // Assign free servers to the highest-priority waiting customers.
         while busy.len() < servers {
-            let next_class = (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]);
+            let next_class = (0..n)
+                .filter(|&c| !queues[c].is_empty())
+                .min_by_key(|&c| rank[c]);
             let Some(c) = next_class else { break };
             queues[c].pop_front();
             let service = classes[c].service.sample(rng);
@@ -123,7 +128,10 @@ pub fn simulate_mmm_priority(
         .enumerate()
         .map(|(c, cl)| cl.holding_cost * mean_number[c])
         .sum();
-    MmmResult { mean_number, holding_cost_rate }
+    MmmResult {
+        mean_number,
+        holding_cost_rate,
+    }
 }
 
 fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
@@ -180,16 +188,25 @@ pub fn heavy_traffic_sweep(
             let classes: Vec<JobClass> = base_classes
                 .iter()
                 .map(|c| {
-                    JobClass::new(c.id, c.arrival_rate * factor, c.service.clone(), c.holding_cost)
+                    JobClass::new(
+                        c.id,
+                        c.arrival_rate * factor,
+                        c.service.clone(),
+                        c.holding_cost,
+                    )
                 })
                 .collect();
-            let rho: f64 =
-                classes.iter().map(|c| c.load()).sum::<f64>() / servers as f64;
+            let rho: f64 = classes.iter().map(|c| c.load()).sum::<f64>() / servers as f64;
             assert!(rho < 1.0, "sweep point is unstable (rho = {rho})");
             let order = cmu_order(&classes);
             let sim = simulate_mmm_priority(&classes, servers, &order, horizon, warmup, rng);
             let lb = fast_server_lower_bound(&classes, servers);
-            HeavyTrafficPoint { rho, cmu_cost: sim.holding_cost_rate, lower_bound: lb, ratio: sim.holding_cost_rate / lb }
+            HeavyTrafficPoint {
+                rho,
+                cmu_cost: sim.holding_cost_rate,
+                lower_bound: lb,
+                ratio: sim.holding_cost_rate / lb,
+            }
         })
         .collect()
 }
@@ -209,17 +226,31 @@ mod tests {
 
     #[test]
     fn single_server_single_class_matches_mm1() {
-        let classes = vec![JobClass::new(0, 0.6, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let classes = vec![JobClass::new(
+            0,
+            0.6,
+            dyn_dist(Exponential::with_mean(1.0)),
+            1.0,
+        )];
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let res = simulate_mmm_priority(&classes, 1, &[0], 80_000.0, 2_000.0, &mut rng);
         // M/M/1: L = rho / (1 - rho) = 1.5.
-        assert!((res.mean_number[0] - 1.5).abs() < 0.15, "L = {}", res.mean_number[0]);
+        assert!(
+            (res.mean_number[0] - 1.5).abs() < 0.15,
+            "L = {}",
+            res.mean_number[0]
+        );
     }
 
     #[test]
     fn two_server_erlang_c_sanity() {
         // M/M/2 with rho = 0.75 per-server: L = Lq + rho*2 where Lq from Erlang C.
-        let classes = vec![JobClass::new(0, 1.5, dyn_dist(Exponential::with_mean(1.0)), 1.0)];
+        let classes = vec![JobClass::new(
+            0,
+            1.5,
+            dyn_dist(Exponential::with_mean(1.0)),
+            1.0,
+        )];
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let res = simulate_mmm_priority(&classes, 2, &[0], 80_000.0, 2_000.0, &mut rng);
         // Erlang-C for m=2, a=1.5: P(wait) = 0.6428...; Lq = P(wait)*rho/(1-rho) = 1.9286; L = Lq + 1.5 = 3.43.
@@ -238,7 +269,11 @@ mod tests {
         let order = cmu_order(&classes);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let sim = simulate_mmm_priority(&classes, 2, &order, 60_000.0, 2_000.0, &mut rng);
-        assert!(lb <= sim.holding_cost_rate * 1.02, "LB {lb} vs sim {}", sim.holding_cost_rate);
+        assert!(
+            lb <= sim.holding_cost_rate * 1.02,
+            "LB {lb} vs sim {}",
+            sim.holding_cost_rate
+        );
     }
 
     #[test]

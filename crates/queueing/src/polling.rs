@@ -72,7 +72,13 @@ pub fn simulate_polling(
     let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
     let mut next_arrival: Vec<f64> = classes
         .iter()
-        .map(|c| if c.arrival_rate > 0.0 { sample_exp(rng, c.arrival_rate) } else { f64::INFINITY })
+        .map(|c| {
+            if c.arrival_rate > 0.0 {
+                sample_exp(rng, c.arrival_rate)
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
     let mut counts = vec![0usize; n];
     let mut trackers: Vec<TimeWeighted> = (0..n).map(|_| TimeWeighted::new(0.0, 0.0)).collect();
@@ -138,18 +144,18 @@ pub fn simulate_polling(
                 PollingDiscipline::CmuWithSetups => (0..n)
                     .filter(|&c| !queues[c].is_empty())
                     .min_by_key(|&c| rank[c]),
-                PollingDiscipline::Exhaustive => {
-                    match configured {
-                        Some(c) if !queues[c].is_empty() => Some(c),
-                        _ => (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]),
-                    }
-                }
-                PollingDiscipline::Gated => {
-                    match configured {
-                        Some(c) if gate_remaining > 0 && !queues[c].is_empty() => Some(c),
-                        _ => (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]),
-                    }
-                }
+                PollingDiscipline::Exhaustive => match configured {
+                    Some(c) if !queues[c].is_empty() => Some(c),
+                    _ => (0..n)
+                        .filter(|&c| !queues[c].is_empty())
+                        .min_by_key(|&c| rank[c]),
+                },
+                PollingDiscipline::Gated => match configured {
+                    Some(c) if gate_remaining > 0 && !queues[c].is_empty() => Some(c),
+                    _ => (0..n)
+                        .filter(|&c| !queues[c].is_empty())
+                        .min_by_key(|&c| rank[c]),
+                },
             };
             if let Some(target) = target {
                 if configured == Some(target) {
@@ -184,7 +190,11 @@ pub fn simulate_polling(
         .enumerate()
         .map(|(c, cl)| cl.holding_cost * mean_number[c])
         .sum();
-    PollingResult { mean_number, holding_cost_rate, setups }
+    PollingResult {
+        mean_number,
+        holding_cost_rate,
+        setups,
+    }
 }
 
 fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
@@ -208,13 +218,23 @@ mod tests {
     }
 
     fn setups(v: f64) -> Vec<DynDist> {
-        vec![dyn_dist(Deterministic::new(v)), dyn_dist(Deterministic::new(v))]
+        vec![
+            dyn_dist(Deterministic::new(v)),
+            dyn_dist(Deterministic::new(v)),
+        ]
     }
 
     fn run(discipline: PollingDiscipline, setup_time: f64, seed: u64) -> PollingResult {
         let classes = classes_2();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        simulate_polling(&classes, &setups(setup_time), discipline, 80_000.0, 2_000.0, &mut rng)
+        simulate_polling(
+            &classes,
+            &setups(setup_time),
+            discipline,
+            80_000.0,
+            2_000.0,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -226,8 +246,7 @@ mod tests {
         let exact = crate::cobham::mg1_nonpreemptive_priority(&classes, &order);
         let res = run(PollingDiscipline::CmuWithSetups, 0.0, 1);
         assert!(
-            (res.holding_cost_rate - exact.holding_cost_rate).abs() / exact.holding_cost_rate
-                < 0.1,
+            (res.holding_cost_rate - exact.holding_cost_rate).abs() / exact.holding_cost_rate < 0.1,
             "sim {} vs exact {}",
             res.holding_cost_rate,
             exact.holding_cost_rate
@@ -253,9 +272,23 @@ mod tests {
         ];
         let setup = setups(1.0);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let cmu = simulate_polling(&classes, &setup, PollingDiscipline::CmuWithSetups, 60_000.0, 2_000.0, &mut rng);
+        let cmu = simulate_polling(
+            &classes,
+            &setup,
+            PollingDiscipline::CmuWithSetups,
+            60_000.0,
+            2_000.0,
+            &mut rng,
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let exhaustive = simulate_polling(&classes, &setup, PollingDiscipline::Exhaustive, 60_000.0, 2_000.0, &mut rng);
+        let exhaustive = simulate_polling(
+            &classes,
+            &setup,
+            PollingDiscipline::Exhaustive,
+            60_000.0,
+            2_000.0,
+            &mut rng,
+        );
         assert!(
             exhaustive.holding_cost_rate < cmu.holding_cost_rate,
             "exhaustive {} should beat cmu-with-setups {}",
@@ -294,6 +327,11 @@ mod tests {
         let exhaustive = run(PollingDiscipline::Exhaustive, 0.0, 9);
         let rel = (gated.holding_cost_rate - exhaustive.holding_cost_rate).abs()
             / exhaustive.holding_cost_rate;
-        assert!(rel < 0.1, "gated {} vs exhaustive {}", gated.holding_cost_rate, exhaustive.holding_cost_rate);
+        assert!(
+            rel < 0.1,
+            "gated {} vs exhaustive {}",
+            gated.holding_cost_rate,
+            exhaustive.holding_cost_rate
+        );
     }
 }

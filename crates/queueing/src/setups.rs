@@ -109,7 +109,13 @@ pub fn simulate_setup_policy(
     let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
     let mut next_arrival: Vec<f64> = classes
         .iter()
-        .map(|c| if c.arrival_rate > 0.0 { sample_exp(rng, c.arrival_rate) } else { f64::INFINITY })
+        .map(|c| {
+            if c.arrival_rate > 0.0 {
+                sample_exp(rng, c.arrival_rate)
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
     let mut counts = vec![0usize; n];
     let mut trackers: Vec<TimeWeighted> = (0..n).map(|_| TimeWeighted::new(0.0, 0.0)).collect();
@@ -160,8 +166,9 @@ pub fn simulate_setup_policy(
 
         if busy.is_none() {
             // Pick the class the server should work towards next.
-            let highest_nonempty =
-                (0..n).filter(|&c| !queues[c].is_empty()).min_by_key(|&c| rank[c]);
+            let highest_nonempty = (0..n)
+                .filter(|&c| !queues[c].is_empty())
+                .min_by_key(|&c| rank[c]);
             let target = match policy {
                 SetupPolicy::CmuEveryJob => highest_nonempty,
                 SetupPolicy::Exhaustive => match configured {
@@ -212,7 +219,11 @@ pub fn simulate_setup_policy(
         mean_number,
         holding_cost_rate,
         setups,
-        setup_time_fraction: if measured > 0.0 { setup_time / measured } else { 0.0 },
+        setup_time_fraction: if measured > 0.0 {
+            setup_time / measured
+        } else {
+            0.0
+        },
     }
 }
 
@@ -244,7 +255,10 @@ pub fn sqrt_rule_thresholds(classes: &[JobClass], mean_setup: &[f64]) -> Vec<f64
     let rho = total_load(classes);
     assert!(rho < 1.0, "unstable even without setups (rho = {rho})");
     let slack = 1.0 - rho;
-    let cost_rate: f64 = classes.iter().map(|c| c.holding_cost * c.arrival_rate).sum();
+    let cost_rate: f64 = classes
+        .iter()
+        .map(|c| c.holding_cost * c.arrival_rate)
+        .sum();
     classes
         .iter()
         .zip(mean_setup)
@@ -253,8 +267,7 @@ pub fn sqrt_rule_thresholds(classes: &[JobClass], mean_setup: &[f64]) -> Vec<f64
                 0.0
             } else {
                 let capacity_floor = 2.0 * s * c.arrival_rate / slack;
-                let balance =
-                    (s * c.arrival_rate * cost_rate / (c.holding_cost * slack)).sqrt();
+                let balance = (s * c.arrival_rate * cost_rate / (c.holding_cost * slack)).sqrt();
                 capacity_floor + balance
             }
         })
@@ -278,6 +291,11 @@ pub struct ThresholdSweepPoint {
 /// `scales`, returning one point per scale (experiment E20 sweeps the scale
 /// to locate the empirically best threshold and compare it with the
 /// square-root rule at scale 1).
+///
+/// The scales are simulated in parallel on the workspace thread pool; each
+/// scale re-seeds its own RNG from `seed` (common random numbers across
+/// scales), so the points are identical to a serial sweep for any thread
+/// count.
 pub fn threshold_sweep(
     classes: &[JobClass],
     setup: &[DynDist],
@@ -288,15 +306,18 @@ pub fn threshold_sweep(
     seed: u64,
 ) -> Vec<ThresholdSweepPoint> {
     use rand::SeedableRng;
+    use rayon::prelude::*;
     scales
-        .iter()
+        .par_iter()
         .map(|&scale| {
             let thresholds: Vec<f64> = base_thresholds.iter().map(|t| t * scale).collect();
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let res = simulate_setup_policy(
                 classes,
                 setup,
-                &SetupPolicy::Threshold { thresholds: thresholds.clone() },
+                &SetupPolicy::Threshold {
+                    thresholds: thresholds.clone(),
+                },
                 horizon,
                 warmup,
                 &mut rng,
@@ -334,7 +355,10 @@ mod tests {
     }
 
     fn setups(v: f64) -> Vec<DynDist> {
-        vec![dyn_dist(Deterministic::new(v)), dyn_dist(Deterministic::new(v))]
+        vec![
+            dyn_dist(Deterministic::new(v)),
+            dyn_dist(Deterministic::new(v)),
+        ]
     }
 
     #[test]
@@ -345,7 +369,9 @@ mod tests {
         let threshold = simulate_setup_policy(
             &classes,
             &setup,
-            &SetupPolicy::Threshold { thresholds: vec![f64::INFINITY, f64::INFINITY] },
+            &SetupPolicy::Threshold {
+                thresholds: vec![f64::INFINITY, f64::INFINITY],
+            },
             60_000.0,
             2_000.0,
             &mut rng,
@@ -375,15 +401,30 @@ mod tests {
         let setup = setups(0.4);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let here = simulate_setup_policy(
-            &classes, &setup, &SetupPolicy::Exhaustive, 50_000.0, 2_000.0, &mut rng,
+            &classes,
+            &setup,
+            &SetupPolicy::Exhaustive,
+            50_000.0,
+            2_000.0,
+            &mut rng,
         );
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let polling = simulate_polling(
-            &classes, &setup, PollingDiscipline::Exhaustive, 50_000.0, 2_000.0, &mut rng,
+            &classes,
+            &setup,
+            PollingDiscipline::Exhaustive,
+            50_000.0,
+            2_000.0,
+            &mut rng,
         );
-        let rel = (here.holding_cost_rate - polling.holding_cost_rate).abs()
-            / polling.holding_cost_rate;
-        assert!(rel < 1e-9, "{} vs {}", here.holding_cost_rate, polling.holding_cost_rate);
+        let rel =
+            (here.holding_cost_rate - polling.holding_cost_rate).abs() / polling.holding_cost_rate;
+        assert!(
+            rel < 1e-9,
+            "{} vs {}",
+            here.holding_cost_rate,
+            polling.holding_cost_rate
+        );
     }
 
     #[test]
@@ -394,7 +435,9 @@ mod tests {
         let eager = simulate_setup_policy(
             &classes,
             &setup,
-            &SetupPolicy::Threshold { thresholds: vec![1.0, 1.0] },
+            &SetupPolicy::Threshold {
+                thresholds: vec![1.0, 1.0],
+            },
             40_000.0,
             1_000.0,
             &mut rng,
@@ -403,12 +446,19 @@ mod tests {
         let patient = simulate_setup_policy(
             &classes,
             &setup,
-            &SetupPolicy::Threshold { thresholds: vec![8.0, 8.0] },
+            &SetupPolicy::Threshold {
+                thresholds: vec![8.0, 8.0],
+            },
             40_000.0,
             1_000.0,
             &mut rng,
         );
-        assert!(eager.setups > patient.setups, "{} !> {}", eager.setups, patient.setups);
+        assert!(
+            eager.setups > patient.setups,
+            "{} !> {}",
+            eager.setups,
+            patient.setups
+        );
         assert!(eager.setup_time_fraction > patient.setup_time_fraction);
     }
 
@@ -470,14 +520,50 @@ mod tests {
     }
 
     #[test]
+    fn threshold_sweep_is_thread_count_invariant() {
+        let classes = classes_2();
+        let setup = setups(0.25);
+        let base = sqrt_rule_thresholds(&classes, &[0.25, 0.25]);
+        let run = |threads: usize| {
+            ss_sim::pool::with_threads(threads, || {
+                threshold_sweep(
+                    &classes,
+                    &setup,
+                    &base,
+                    &[0.5, 1.0, 2.0],
+                    20_000.0,
+                    1_000.0,
+                    42,
+                )
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.holding_cost_rate.to_bits(), b.holding_cost_rate.to_bits());
+            assert_eq!(a.setups_per_time.to_bits(), b.setups_per_time.to_bits());
+        }
+    }
+
+    #[test]
     fn threshold_sweep_returns_one_point_per_scale() {
         let classes = classes_2();
         let setup = setups(0.3);
         let base = sqrt_rule_thresholds(&classes, &[0.3, 0.3]);
-        let points =
-            threshold_sweep(&classes, &setup, &base, &[0.5, 1.0, 4.0], 20_000.0, 1_000.0, 42);
+        let points = threshold_sweep(
+            &classes,
+            &setup,
+            &base,
+            &[0.5, 1.0, 4.0],
+            20_000.0,
+            1_000.0,
+            42,
+        );
         assert_eq!(points.len(), 3);
-        assert!(points.iter().all(|p| p.holding_cost_rate.is_finite() && p.holding_cost_rate > 0.0));
+        assert!(points
+            .iter()
+            .all(|p| p.holding_cost_rate.is_finite() && p.holding_cost_rate > 0.0));
         assert!(points[0].setups_per_time >= points[2].setups_per_time);
     }
 
@@ -490,7 +576,9 @@ mod tests {
         let _ = simulate_setup_policy(
             &classes,
             &setup,
-            &SetupPolicy::Threshold { thresholds: vec![1.0] },
+            &SetupPolicy::Threshold {
+                thresholds: vec![1.0],
+            },
             1_000.0,
             10.0,
             &mut rng,

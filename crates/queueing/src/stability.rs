@@ -33,7 +33,10 @@ impl Default for LuKumarParams {
     fn default() -> Self {
         // The classic destabilising choice: station loads are 0.7 each but
         // the virtual station load is 1.2 > 1.
-        Self { arrival_rate: 1.0, mean_service: [0.1, 0.6, 0.1, 0.6] }
+        Self {
+            arrival_rate: 1.0,
+            mean_service: [0.1, 0.6, 0.1, 0.6],
+        }
     }
 }
 
@@ -99,7 +102,11 @@ fn growth_rate(times: &[f64], totals: &[f64]) -> f64 {
     let n = times.len() as f64;
     let mean_t = times.iter().sum::<f64>() / n;
     let mean_x = totals.iter().sum::<f64>() / n;
-    let num: f64 = times.iter().zip(totals).map(|(t, x)| (t - mean_t) * (x - mean_x)).sum();
+    let num: f64 = times
+        .iter()
+        .zip(totals)
+        .map(|(t, x)| (t - mean_t) * (x - mean_x))
+        .sum();
     let den: f64 = times.iter().map(|t| (t - mean_t) * (t - mean_t)).sum();
     if den <= 0.0 {
         0.0
@@ -119,7 +126,11 @@ pub fn run_lu_kumar(
     let network = params.build();
     let result = simulate_network(&network, priority, horizon, 0.0, 200, rng);
     let growth = growth_rate(&result.sample_times, &result.trajectory);
-    StabilityRun { label: label.to_string(), result, growth_rate: growth }
+    StabilityRun {
+        label: label.to_string(),
+        result,
+        growth_rate: growth,
+    }
 }
 
 #[cfg(test)]
@@ -162,17 +173,30 @@ mod tests {
             bad.result.final_total,
             good.result.final_total
         );
-        assert!(good.growth_rate.abs() < 0.05, "good policy should not drift: {}", good.growth_rate);
+        assert!(
+            good.growth_rate.abs() < 0.05,
+            "good policy should not drift: {}",
+            good.growth_rate
+        );
     }
 
     #[test]
     fn lighter_load_is_stable_even_under_bad_priority() {
         // With the virtual-station load below 1 the bad priority rule is
         // stable too.
-        let p = LuKumarParams { arrival_rate: 1.0, mean_service: [0.1, 0.35, 0.1, 0.35] };
+        let p = LuKumarParams {
+            arrival_rate: 1.0,
+            mean_service: [0.1, 0.35, 0.1, 0.35],
+        };
         assert!(p.virtual_station_load() < 1.0);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let run = run_lu_kumar(&p, &p.bad_priority(), "bad priority, light", 8_000.0, &mut rng);
+        let run = run_lu_kumar(
+            &p,
+            &p.bad_priority(),
+            "bad priority, light",
+            8_000.0,
+            &mut rng,
+        );
         assert!(run.growth_rate.abs() < 0.05, "growth {}", run.growth_rate);
         assert!(run.result.final_total < 200);
     }

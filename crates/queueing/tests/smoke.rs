@@ -25,7 +25,10 @@ fn cmu_smoke() {
 fn klimov_without_feedback_is_cmu_smoke() {
     let means = [1.0, 0.5, 1.25];
     let costs = [1.0, 3.0, 2.0];
-    let services: Vec<_> = means.iter().map(|&m| dyn_dist(Exponential::with_mean(m))).collect();
+    let services: Vec<_> = means
+        .iter()
+        .map(|&m| dyn_dist(Exponential::with_mean(m)))
+        .collect();
     let network = KlimovNetwork::new(
         vec![0.05; 3],
         services,

@@ -41,7 +41,11 @@ impl<H: EventHandler> Default for Engine<H> {
 impl<H: EventHandler> Engine<H> {
     /// Fresh engine at time zero with an empty calendar.
     pub fn new() -> Self {
-        Self { clock: 0.0, queue: EventQueue::new(), events_processed: 0 }
+        Self {
+            clock: 0.0,
+            queue: EventQueue::new(),
+            events_processed: 0,
+        }
     }
 
     /// Schedule an initial event at absolute time `time`.
@@ -99,7 +103,10 @@ mod tests {
     #[test]
     fn runs_until_stop_condition() {
         let mut engine: Engine<Counter> = Engine::new();
-        let mut handler = Counter { arrivals: 0, limit: 5 };
+        let mut handler = Counter {
+            arrivals: 0,
+            limit: 5,
+        };
         engine.schedule(0.0, ());
         let end = engine.run(&mut handler, f64::INFINITY);
         assert_eq!(handler.arrivals, 5);
@@ -110,7 +117,10 @@ mod tests {
     #[test]
     fn respects_horizon() {
         let mut engine: Engine<Counter> = Engine::new();
-        let mut handler = Counter { arrivals: 0, limit: u64::MAX };
+        let mut handler = Counter {
+            arrivals: 0,
+            limit: u64::MAX,
+        };
         engine.schedule(0.0, ());
         let end = engine.run(&mut handler, 10.5);
         assert_eq!(end, 10.5);

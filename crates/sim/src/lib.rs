@@ -13,20 +13,28 @@
 //! * [`stats`] — Welford online moments, confidence intervals,
 //!   time-weighted averages for queue-length processes, and batch means for
 //!   steady-state output analysis;
-//! * [`replication`] — serial and Rayon-parallel replication runners that
-//!   return summary statistics with confidence intervals.
+//! * [`replication`] — serial, parallel and chunked replication runners
+//!   that return summary statistics with confidence intervals;
+//! * [`pool`] — explicit controls over the multi-threaded execution pool
+//!   the parallel runners schedule on (thread count via `SS_THREADS`,
+//!   scoped pools, join), with a bit-for-bit serial/parallel determinism
+//!   contract.
 //!
 //! The queueing and batch-scheduling simulators in `ss-queueing` and
 //! `ss-batch` are built on these primitives.
 
 pub mod engine;
 pub mod events;
+pub mod pool;
 pub mod replication;
 pub mod rng;
 pub mod stats;
 
 pub use engine::{Engine, EventHandler};
 pub use events::EventQueue;
-pub use replication::{run_replications, run_replications_parallel, ReplicationSummary};
+pub use replication::{
+    run_replications, run_replications_chunked, run_replications_parallel, ChunkedReplications,
+    ReplicationSummary,
+};
 pub use rng::RngStreams;
 pub use stats::{BatchMeans, OnlineStats, TimeWeighted};

@@ -1,0 +1,85 @@
+//! Explicit controls over the workspace execution pool.
+//!
+//! The parallel replication runners (and every `par_iter()` call site in the
+//! workspace) schedule onto the pool implemented in the vendored `rayon`
+//! crate.  Most code never needs to touch it — the global pool sizes itself
+//! from `SS_THREADS` or the host's available parallelism — but code that
+//! wants explicit control (benchmarks sweeping thread counts, servers
+//! partitioning cores between subsystems) gets it here:
+//!
+//! * [`num_threads`] — the thread count parallel calls will currently use;
+//! * [`ThreadPool`] + [`install`](ThreadPool::install) — build a pool of an
+//!   exact size and scope it over a closure;
+//! * [`with_threads`] — the one-line version of build-and-install;
+//! * [`join`] — scoped two-way join on the current pool;
+//! * [`parallel_indexed`] — order-preserving parallel map over `0..n`.
+//!
+//! ## Determinism contract
+//!
+//! The pool only decides *where* each index runs.  Results are always
+//! collected in index order and every replication draws from its own
+//! [`crate::rng::RngStreams`] stream keyed by the replication index, so any
+//! thread count — including 1 — produces bit-for-bit identical output.  CI
+//! enforces this by running the simulation suites under both `SS_THREADS=1`
+//! and `SS_THREADS=4`.
+
+pub use rayon::pool::{current_num_threads, default_threads, join, ThreadPool};
+
+use rayon::prelude::*;
+
+/// Thread count parallel calls on this thread will use right now (the
+/// innermost installed pool, or the global pool).
+pub fn num_threads() -> usize {
+    current_num_threads()
+}
+
+/// Run `f` with a dedicated pool of exactly `threads` threads installed on
+/// the calling thread. Useful for thread-count sweeps and for forcing serial
+/// execution (`threads = 1`) regardless of `SS_THREADS`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPool::new(threads).install(f)
+}
+
+/// Evaluate `f(i)` for every `i in 0..n` on the current pool and return the
+/// results in index order — the raw primitive underneath the replication
+/// runners, exposed for workloads that are not replication-shaped.
+pub fn parallel_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    (0..n).into_par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_controls_num_threads() {
+        assert_eq!(with_threads(3, num_threads), 3);
+        assert_eq!(with_threads(1, num_threads), 1);
+    }
+
+    #[test]
+    fn parallel_indexed_preserves_order() {
+        let out = with_threads(4, || parallel_indexed(100, |i| i * 3));
+        let expected: Vec<usize> = (0..100).map(|i| i * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = with_threads(2, || join(|| 6 * 7, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

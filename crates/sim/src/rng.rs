@@ -9,8 +9,8 @@
 //! * parallel replication runners can hand independent streams to worker
 //!   threads without any shared mutable state.
 
-use rand_chacha::ChaCha8Rng;
 use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// SplitMix64 step, used to decorrelate (seed, stream) pairs.
 fn splitmix64(mut z: u64) -> u64 {

@@ -16,7 +16,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -118,12 +124,23 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Start observing at `time` with initial value `value`.
     pub fn new(time: f64, value: f64) -> Self {
-        Self { last_time: time, last_value: value, area: 0.0, start_time: time, max_value: value }
+        Self {
+            last_time: time,
+            last_value: value,
+            area: 0.0,
+            start_time: time,
+            max_value: value,
+        }
     }
 
     /// Record that the process changed to `value` at `time`.
     pub fn update(&mut self, time: f64, value: f64) {
-        assert!(time + 1e-12 >= self.last_time, "time went backwards: {} -> {}", self.last_time, time);
+        assert!(
+            time + 1e-12 >= self.last_time,
+            "time went backwards: {} -> {}",
+            self.last_time,
+            time
+        );
         self.area += self.last_value * (time - self.last_time).max(0.0);
         self.last_time = time;
         self.last_value = value;
@@ -180,7 +197,12 @@ impl BatchMeans {
     /// Create with a fixed batch size (number of observations per batch).
     pub fn new(batch_size: usize) -> Self {
         assert!(batch_size > 0);
-        Self { batch_size, current_sum: 0.0, current_count: 0, batch_averages: Vec::new() }
+        Self {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_averages: Vec::new(),
+        }
     }
 
     /// Add one observation.
@@ -188,7 +210,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_count += 1;
         if self.current_count == self.batch_size {
-            self.batch_averages.push(self.current_sum / self.batch_size as f64);
+            self.batch_averages
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -276,7 +299,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.update(1.0, 2.0); // value 0 on [0,1)
         tw.update(3.0, 1.0); // value 2 on [1,3)
-        // value 1 on [3,5]
+                             // value 1 on [3,5]
         let avg = tw.time_average(5.0);
         // (0*1 + 2*2 + 1*2) / 5 = 6/5
         assert!((avg - 1.2).abs() < 1e-12);

@@ -56,7 +56,12 @@ fn main() {
         };
         let myopic = run(&SetupPolicy::CmuEveryJob, 7);
         let exhaustive = run(&SetupPolicy::Exhaustive, 7);
-        let threshold = run(&SetupPolicy::Threshold { thresholds: thresholds.clone() }, 7);
+        let threshold = run(
+            &SetupPolicy::Threshold {
+                thresholds: thresholds.clone(),
+            },
+            7,
+        );
 
         println!(
             "| {setup_time:>5.2} | {:>10.3} | {:>8.3} | {:>10.3} | [{:.2}, {:.2}] |",
@@ -76,7 +81,9 @@ fn main() {
 
     // Show how much capacity each rule spends on changeovers at a large setup.
     let setup_time = 1.0;
-    let setup: Vec<_> = (0..2).map(|_| dyn_dist(Deterministic::new(setup_time))).collect();
+    let setup: Vec<_> = (0..2)
+        .map(|_| dyn_dist(Deterministic::new(setup_time)))
+        .collect();
     let thresholds = sqrt_rule_thresholds(&products, &[setup_time, setup_time]);
     println!("\nCapacity spent on die changes when a change takes {setup_time} time units:");
     for (name, policy) in [

@@ -17,7 +17,9 @@
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use stochastic_scheduling::bandits::gittins::gittins_indices_vwb;
-use stochastic_scheduling::bandits::instances::{bernoulli_sampling_project, bernoulli_state_index};
+use stochastic_scheduling::bandits::instances::{
+    bernoulli_sampling_project, bernoulli_state_index,
+};
 
 fn main() {
     use rand::SeedableRng;
@@ -26,7 +28,9 @@ fn main() {
     let project = bernoulli_sampling_project(depth, 1.0, 1.0);
     let indices = gittins_indices_vwb(&project, beta);
 
-    println!("Gittins indices for a Beta(1,1) prior, beta = {beta} (rows: successes, cols: failures)\n");
+    println!(
+        "Gittins indices for a Beta(1,1) prior, beta = {beta} (rows: successes, cols: failures)\n"
+    );
     print!("      ");
     for f in 0..6 {
         print!("  f={f}   ");

@@ -17,10 +17,14 @@
 
 use rand_chacha::ChaCha8Rng;
 use stochastic_scheduling::core::job::JobClass;
-use stochastic_scheduling::distributions::{dyn_dist, Deterministic, Erlang, Exponential, HyperExponential};
+use stochastic_scheduling::distributions::{
+    dyn_dist, Deterministic, Erlang, Exponential, HyperExponential,
+};
 use stochastic_scheduling::queueing::cmu::cmu_order;
 use stochastic_scheduling::queueing::cobham::mg1_nonpreemptive_priority;
-use stochastic_scheduling::queueing::klimov::{klimov_indices, klimov_order, simulate_klimov, KlimovNetwork};
+use stochastic_scheduling::queueing::klimov::{
+    klimov_indices, klimov_order, simulate_klimov, KlimovNetwork,
+};
 use stochastic_scheduling::queueing::mg1::{simulate_mg1, Discipline, Mg1Config};
 
 fn seeded(seed: u64) -> ChaCha8Rng {
@@ -34,7 +38,12 @@ fn main() {
     let classes = vec![
         JobClass::new(0, 0.25, dyn_dist(Erlang::with_mean(4, 1.2)), 1.0),
         JobClass::new(1, 0.50, dyn_dist(Deterministic::new(0.4)), 0.5),
-        JobClass::new(2, 0.10, dyn_dist(HyperExponential::with_mean_scv(2.0, 6.0)), 5.0),
+        JobClass::new(
+            2,
+            0.10,
+            dyn_dist(HyperExponential::with_mean_scv(2.0, 6.0)),
+            5.0,
+        ),
     ];
     let load: f64 = classes.iter().map(|c| c.load()).sum();
     println!("workstation load rho = {load:.3}\n");
@@ -48,17 +57,34 @@ fn main() {
     let exact_cmu = mg1_nonpreemptive_priority(&classes, &cmu);
     let exact_rev = mg1_nonpreemptive_priority(&classes, &reverse);
     let sim = |discipline: Discipline, seed: u64| {
-        let config = Mg1Config { classes: classes.clone(), discipline, horizon: 400_000.0, warmup: 10_000.0 };
+        let config = Mg1Config {
+            classes: classes.clone(),
+            discipline,
+            horizon: 400_000.0,
+            warmup: 10_000.0,
+        };
         simulate_mg1(&config, &mut seeded(seed))
     };
     let fifo = sim(Discipline::Fifo, 1);
     let sim_cmu = sim(Discipline::NonpreemptivePriority(cmu.clone()), 2);
 
     println!("\nsteady-state holding-cost rate (capital tied up per hour):");
-    println!("  cmu rule      : {:.4}  (exact Cobham)", exact_cmu.holding_cost_rate);
-    println!("  cmu rule      : {:.4}  (simulation)", sim_cmu.holding_cost_rate);
-    println!("  FIFO          : {:.4}  (simulation)", fifo.holding_cost_rate);
-    println!("  reverse cmu   : {:.4}  (exact Cobham)", exact_rev.holding_cost_rate);
+    println!(
+        "  cmu rule      : {:.4}  (exact Cobham)",
+        exact_cmu.holding_cost_rate
+    );
+    println!(
+        "  cmu rule      : {:.4}  (simulation)",
+        sim_cmu.holding_cost_rate
+    );
+    println!(
+        "  FIFO          : {:.4}  (simulation)",
+        fifo.holding_cost_rate
+    );
+    println!(
+        "  reverse cmu   : {:.4}  (exact Cobham)",
+        exact_rev.holding_cost_rate
+    );
     println!(
         "\nthe cmu rule saves {:.1}% of the FIFO holding cost\n",
         (1.0 - exact_cmu.holding_cost_rate / fifo.holding_cost_rate) * 100.0
@@ -84,11 +110,23 @@ fn main() {
         ],
     );
     println!("total load with rework: {:.3}", network.total_load());
-    println!("Klimov indices: {:?}", klimov_indices(&network).iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "Klimov indices: {:?}",
+        klimov_indices(&network)
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     let order = klimov_order(&network);
     println!("Klimov priority order: {order:?}");
     let res = simulate_klimov(&network, &order, 400_000.0, 10_000.0, &mut seeded(3));
-    println!("holding-cost rate under the Klimov policy : {:.4}", res.holding_cost_rate);
+    println!(
+        "holding-cost rate under the Klimov policy : {:.4}",
+        res.holding_cost_rate
+    );
     let naive = simulate_klimov(&network, &[0, 1, 2, 3], 400_000.0, 10_000.0, &mut seeded(3));
-    println!("holding-cost rate under a naive order     : {:.4}", naive.holding_cost_rate);
+    println!(
+        "holding-cost rate under a naive order     : {:.4}",
+        naive.holding_cost_rate
+    );
 }

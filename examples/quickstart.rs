@@ -15,7 +15,9 @@ use stochastic_scheduling::bandits::exact::MultiArmedBandit;
 use stochastic_scheduling::bandits::gittins::gittins_indices_vwb;
 use stochastic_scheduling::bandits::project::BanditProject;
 use stochastic_scheduling::batch::policies::wsept_order;
-use stochastic_scheduling::batch::single_machine::{exhaustive_optimal_order, expected_weighted_flowtime};
+use stochastic_scheduling::batch::single_machine::{
+    exhaustive_optimal_order, expected_weighted_flowtime,
+};
 use stochastic_scheduling::core::instance::BatchInstance;
 use stochastic_scheduling::core::job::JobClass;
 use stochastic_scheduling::distributions::{dyn_dist, Erlang, Exponential, HyperExponential};
@@ -36,7 +38,10 @@ fn main() {
     let (best_order, best_value) = exhaustive_optimal_order(&instance);
     println!("WSEPT order          : {order:?}  ->  E[sum w C] = {wsept_value:.4}");
     println!("exhaustive optimum   : {best_order:?}  ->  E[sum w C] = {best_value:.4}");
-    println!("WSEPT is optimal (Rothkopf 1966): {}\n", (wsept_value - best_value).abs() < 1e-9);
+    println!(
+        "WSEPT is optimal (Rothkopf 1966): {}\n",
+        (wsept_value - best_value).abs() < 1e-9
+    );
 
     // --- 2. Multi-armed bandit: Gittins index ---------------------------
     println!("== 2. Multi-armed bandit (discounted, beta = 0.95) ==\n");
@@ -46,20 +51,40 @@ fn main() {
         vec![vec![(1, 0.5), (0, 0.5)], vec![(1, 1.0)]],
     );
     let beta = 0.95;
-    println!("Gittins index of the safe project  : {:?}", gittins_indices_vwb(&safe, beta));
-    println!("Gittins index of the risky project : {:?}", gittins_indices_vwb(&risky, beta));
+    println!(
+        "Gittins index of the safe project  : {:?}",
+        gittins_indices_vwb(&safe, beta)
+    );
+    println!(
+        "Gittins index of the risky project : {:?}",
+        gittins_indices_vwb(&risky, beta)
+    );
     let mab = MultiArmedBandit::new(vec![safe, risky], beta);
     let init = [0usize, 0];
-    println!("optimal value (exact DP)           : {:.4}", mab.optimal_value(&init));
-    println!("Gittins policy value               : {:.4}", mab.gittins_policy_value(&init));
-    println!("myopic policy value                : {:.4}\n", mab.myopic_policy_value(&init));
+    println!(
+        "optimal value (exact DP)           : {:.4}",
+        mab.optimal_value(&init)
+    );
+    println!(
+        "Gittins policy value               : {:.4}",
+        mab.gittins_policy_value(&init)
+    );
+    println!(
+        "myopic policy value                : {:.4}\n",
+        mab.myopic_policy_value(&init)
+    );
 
     // --- 3. Queueing control: the cµ-rule -------------------------------
     println!("== 3. Multiclass M/G/1 queue (steady state) ==\n");
     let classes = vec![
         JobClass::new(0, 0.2, dyn_dist(Exponential::with_mean(1.0)), 1.0),
         JobClass::new(1, 0.3, dyn_dist(Erlang::with_mean(2, 0.5)), 3.0),
-        JobClass::new(2, 0.1, dyn_dist(HyperExponential::with_mean_scv(2.0, 5.0)), 2.0),
+        JobClass::new(
+            2,
+            0.1,
+            dyn_dist(HyperExponential::with_mean_scv(2.0, 5.0)),
+            2.0,
+        ),
     ];
     let order = cmu_order(&classes);
     println!("cmu priority order: {order:?}");
@@ -73,5 +98,8 @@ fn main() {
             class.service_rate()
         );
     }
-    println!("steady-state holding cost rate under cmu: {:.4}", means.holding_cost_rate);
+    println!(
+        "steady-state holding cost rate under cmu: {:.4}",
+        means.holding_cost_rate
+    );
 }

@@ -90,7 +90,11 @@ fn main() {
     for (i, order) in orders.iter().enumerate() {
         let mut rng = ChaCha8Rng::seed_from_u64(500 + i as u64);
         let (mean, ci) = estimate_order_cost(&backlog, &initial, order, 10_000, &mut rng);
-        let note = if *order == result.order { "branching-bandit index order" } else { "" };
+        let note = if *order == result.order {
+            "branching-bandit index order"
+        } else {
+            ""
+        };
         table.add(format!("priority {order:?}"), mean, Some(ci), note);
     }
     println!("{table}");

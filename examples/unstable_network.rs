@@ -24,12 +24,27 @@ fn main() {
 
     let horizon = 20_000.0;
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let bad = run_lu_kumar(&params, &params.bad_priority(), "priority to classes 2 & 4", horizon, &mut rng);
+    let bad = run_lu_kumar(
+        &params,
+        &params.bad_priority(),
+        "priority to classes 2 & 4",
+        horizon,
+        &mut rng,
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let good = run_lu_kumar(&params, &params.good_priority(), "priority to classes 1 & 3", horizon, &mut rng);
+    let good = run_lu_kumar(
+        &params,
+        &params.good_priority(),
+        "priority to classes 1 & 3",
+        horizon,
+        &mut rng,
+    );
 
     println!("total jobs in system over time (simulation):");
-    println!("{:>10} {:>18} {:>18}", "time", "bad priority", "good priority");
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "time", "bad priority", "good priority"
+    );
     let stride = bad.result.sample_times.len() / 10;
     for i in (0..bad.result.sample_times.len()).step_by(stride.max(1)) {
         println!(
@@ -37,13 +52,21 @@ fn main() {
             bad.result.sample_times[i], bad.result.trajectory[i], good.result.trajectory[i]
         );
     }
-    println!("\ngrowth rates: bad = {:.3} jobs/unit time, good = {:.4} jobs/unit time", bad.growth_rate, good.growth_rate);
+    println!(
+        "\ngrowth rates: bad = {:.3} jobs/unit time, good = {:.4} jobs/unit time",
+        bad.growth_rate, good.growth_rate
+    );
 
     // Fluid prediction.
     let fluid = FluidNetwork::from_network(&params.build());
     let x0 = [1.0, 0.0, 0.0, 0.0];
     let bad_fluid = integrate_priority_fluid(&fluid, &params.bad_priority(), &x0, 200.0, 0.002, 11);
-    let good_fluid = integrate_priority_fluid(&fluid, &params.good_priority(), &x0, 200.0, 0.002, 11);
-    println!("\nfluid-model totals at t = 200: bad = {:.2}, good = {:.2}", bad_fluid.levels.last().unwrap().iter().sum::<f64>(), good_fluid.levels.last().unwrap().iter().sum::<f64>());
+    let good_fluid =
+        integrate_priority_fluid(&fluid, &params.good_priority(), &x0, 200.0, 0.002, 11);
+    println!(
+        "\nfluid-model totals at t = 200: bad = {:.2}, good = {:.2}",
+        bad_fluid.levels.last().unwrap().iter().sum::<f64>(),
+        good_fluid.levels.last().unwrap().iter().sum::<f64>()
+    );
     println!("the fluid model predicts the same dichotomy the simulation shows: scheduling a network greedily can destabilise it even below nominal capacity.");
 }

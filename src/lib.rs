@@ -7,8 +7,9 @@
 //!
 //! * [`distributions`] — processing-time / inter-arrival distributions,
 //!   hazard-rate classification, stochastic orderings.
-//! * [`sim`] — discrete-event simulation engine, statistics and replication
-//!   runners.
+//! * [`sim`] — discrete-event simulation engine, statistics, replication
+//!   runners, and the multi-threaded execution pool (`sim::pool`,
+//!   `SS_THREADS`) with bit-for-bit serial/parallel determinism.
 //! * [`lp`] — dense two-phase simplex LP solver (Whittle / achievable-region
 //!   relaxations).
 //! * [`mdp`] — finite Markov decision process solvers (discounted and
@@ -26,8 +27,10 @@
 //!   Klimov networks, parallel servers, multistation networks, stability,
 //!   fluid models, polling and setup thresholds).
 //!
-//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
-//! the paper-claim vs. measured results of every experiment.
+//! See `DESIGN.md` for the full system inventory (including the execution
+//! pool's architecture) and `EXPERIMENTS.md` for the measured results of
+//! experiments E1–E21, regenerated via
+//! `cargo run --release -p ss-bench --bin experiments`.
 //!
 //! ## Quickstart
 //!

@@ -16,20 +16,24 @@ use stochastic_scheduling::bandits::branching::offspring::OffspringDist;
 use stochastic_scheduling::bandits::branching::BranchingBandit;
 use stochastic_scheduling::bandits::instances::maintenance_project;
 use stochastic_scheduling::bandits::mpi::marginal_productivity_indices;
-use stochastic_scheduling::bandits::restless::{simulate_restless, whittle_indices, RestlessPolicy};
+use stochastic_scheduling::bandits::restless::{
+    simulate_restless, whittle_indices, RestlessPolicy,
+};
 use stochastic_scheduling::core::adaptive_greedy::{adaptive_greedy, IsolatedJobs};
 use stochastic_scheduling::core::job::JobClass;
+use stochastic_scheduling::distributions::Deterministic;
 use stochastic_scheduling::distributions::{dyn_dist, Erlang, Exponential};
 use stochastic_scheduling::queueing::achievable_region::{
     klimov_via_adaptive_greedy, region_lp, vertex_performance,
 };
 use stochastic_scheduling::queueing::cmu::cmu_order;
-use stochastic_scheduling::queueing::cobham::{best_nonpreemptive_order, mg1_nonpreemptive_priority};
+use stochastic_scheduling::queueing::cobham::{
+    best_nonpreemptive_order, mg1_nonpreemptive_priority,
+};
 use stochastic_scheduling::queueing::klimov::{klimov_indices, KlimovNetwork};
 use stochastic_scheduling::queueing::setups::{
     simulate_setup_policy, sqrt_rule_thresholds, SetupPolicy,
 };
-use stochastic_scheduling::distributions::Deterministic;
 
 /// Build a stable multiclass M/G/1 instance from raw parameters, scaling the
 /// arrival rates so the total load is `target_load`.
@@ -192,14 +196,20 @@ fn branching_bandit_and_klimov_network_assign_identical_indices() {
     let costs = [1.0, 2.0, 4.0, 1.5];
     let route = [(0usize, 1usize, 0.6), (1, 2, 0.3), (2, 3, 0.5)];
 
-    let services_q: Vec<_> = means.iter().map(|&m| dyn_dist(Exponential::with_mean(m))).collect();
+    let services_q: Vec<_> = means
+        .iter()
+        .map(|&m| dyn_dist(Exponential::with_mean(m)))
+        .collect();
     let mut routing = vec![vec![0.0; 4]; 4];
     for &(from, to, p) in &route {
         routing[from][to] = p;
     }
     let network = KlimovNetwork::new(vec![0.05; 4], services_q, costs.to_vec(), routing);
 
-    let services_b: Vec<_> = means.iter().map(|&m| dyn_dist(Exponential::with_mean(m))).collect();
+    let services_b: Vec<_> = means
+        .iter()
+        .map(|&m| dyn_dist(Exponential::with_mean(m)))
+        .collect();
     let offspring: Vec<OffspringDist> = (0..4)
         .map(|i| {
             route
@@ -221,7 +231,10 @@ fn branching_bandit_and_klimov_network_assign_identical_indices() {
             branching.indices[j]
         );
     }
-    assert_eq!(bandit.index_order(), stochastic_scheduling::queueing::klimov::klimov_order(&network));
+    assert_eq!(
+        bandit.index_order(),
+        stochastic_scheduling::queueing::klimov::klimov_order(&network)
+    );
 }
 
 /// The marginal productivity indices drive the restless-bandit simulator to
@@ -271,7 +284,9 @@ fn threshold_policy_beats_exhaustive_and_myopic_with_asymmetric_costs() {
         JobClass::new(1, 0.15, dyn_dist(Exponential::with_mean(0.8)), 6.0),
     ];
     let setup_time = 1.0;
-    let setup: Vec<_> = (0..2).map(|_| dyn_dist(Deterministic::new(setup_time))).collect();
+    let setup: Vec<_> = (0..2)
+        .map(|_| dyn_dist(Deterministic::new(setup_time)))
+        .collect();
     let thresholds = sqrt_rule_thresholds(&classes, &[setup_time, setup_time]);
 
     let run = |policy: &SetupPolicy, seed: u64| {

@@ -5,10 +5,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use stochastic_scheduling::bandits::exact::MultiArmedBandit;
 use stochastic_scheduling::bandits::gittins::gittins_indices_vwb;
+use stochastic_scheduling::bandits::instances::maintenance_project;
 use stochastic_scheduling::bandits::instances::random_project;
 use stochastic_scheduling::bandits::restless::{relaxation_bound_identical, whittle_indices};
-use stochastic_scheduling::bandits::instances::maintenance_project;
-use stochastic_scheduling::batch::exact_exp::{list_policy_flowtime, sept_order_exp, ExpParallelInstance};
+use stochastic_scheduling::batch::exact_exp::{
+    list_policy_flowtime, sept_order_exp, ExpParallelInstance,
+};
 use stochastic_scheduling::batch::parallel::{evaluate_list_policy, ParallelMetric};
 use stochastic_scheduling::batch::policies::wsept_order;
 use stochastic_scheduling::batch::single_machine::expected_weighted_flowtime;
@@ -35,9 +37,19 @@ fn single_machine_values_agree_across_methods() {
 
     let exp_inst = ExpParallelInstance::unweighted(rates.to_vec());
     let dp = list_policy_flowtime(&exp_inst, &sept_order_exp(&exp_inst), 1);
-    assert!((closed_form - dp).abs() < 1e-9, "closed form {closed_form} vs DP {dp}");
+    assert!(
+        (closed_form - dp).abs() < 1e-9,
+        "closed form {closed_form} vs DP {dp}"
+    );
 
-    let sim = evaluate_list_policy(&inst, &order, 1, ParallelMetric::WeightedFlowtime, 20_000, 3);
+    let sim = evaluate_list_policy(
+        &inst,
+        &order,
+        1,
+        ParallelMetric::WeightedFlowtime,
+        20_000,
+        3,
+    );
     assert!(
         (sim.mean - closed_form).abs() < 3.0 * sim.ci95 + 1e-6,
         "simulated {} ± {} vs exact {closed_form}",
@@ -103,7 +115,10 @@ fn whittle_indices_and_lp_relaxation_are_consistent() {
     // worst state; a moderate activity fraction must do strictly better.
     let bound_none = relaxation_bound_identical(&project, 0.0);
     let bound_some = relaxation_bound_identical(&project, 0.3);
-    assert!(bound_some > bound_none + 1e-6, "{bound_some} vs {bound_none}");
+    assert!(
+        bound_some > bound_none + 1e-6,
+        "{bound_some} vs {bound_none}"
+    );
     // Indices increase with wear (exploited by the experiments).
     assert!(indices[4] > indices[1]);
 }
@@ -117,7 +132,8 @@ fn generated_instances_respect_wsept_optimality() {
     for _ in 0..5 {
         let inst = gen.generate(7, &mut rng);
         let wsept = expected_weighted_flowtime(&inst, &wsept_order(&inst));
-        let (_, best) = stochastic_scheduling::batch::single_machine::exhaustive_optimal_order(&inst);
+        let (_, best) =
+            stochastic_scheduling::batch::single_machine::exhaustive_optimal_order(&inst);
         assert!((wsept - best).abs() < 1e-9);
     }
 }

@@ -3,10 +3,14 @@
 
 use proptest::prelude::*;
 use stochastic_scheduling::batch::policies::wsept_order;
-use stochastic_scheduling::batch::single_machine::{adjacent_interchange_delta, expected_weighted_flowtime};
+use stochastic_scheduling::batch::single_machine::{
+    adjacent_interchange_delta, expected_weighted_flowtime,
+};
 use stochastic_scheduling::core::instance::BatchInstance;
 use stochastic_scheduling::core::job::JobClass;
-use stochastic_scheduling::distributions::{dyn_dist, Exponential, ServiceDistribution, TwoPoint, Uniform, Weibull};
+use stochastic_scheduling::distributions::{
+    dyn_dist, Exponential, ServiceDistribution, TwoPoint, Uniform, Weibull,
+};
 use stochastic_scheduling::lp::{LinearProgram, Relation};
 use stochastic_scheduling::queueing::cmu::cmu_order;
 use stochastic_scheduling::queueing::cobham::mg1_nonpreemptive_priority;

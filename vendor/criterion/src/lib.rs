@@ -139,8 +139,10 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id);
-        let (sample_size, warm_up, measurement) = (self.sample_size, self.warm_up, self.measurement);
-        self.criterion.run_one(&full, sample_size, warm_up, measurement, &mut f);
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up, self.measurement);
+        self.criterion
+            .run_one(&full, sample_size, warm_up, measurement, &mut f);
         self
     }
 
@@ -154,9 +156,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        let (sample_size, warm_up, measurement) = (self.sample_size, self.warm_up, self.measurement);
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up, self.measurement);
         self.criterion
-            .run_one(&full, sample_size, warm_up, measurement, &mut |b| f(b, input));
+            .run_one(&full, sample_size, warm_up, measurement, &mut |b| {
+                f(b, input)
+            });
         self
     }
 

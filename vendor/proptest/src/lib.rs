@@ -91,7 +91,10 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        Self { lo: r.start, hi: r.end }
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 

@@ -404,7 +404,10 @@ mod tests {
         let mut rng = Counter(5);
         for _ in 0..2000 {
             let v = rng.gen_range(-f64::EPSILON..0.0);
-            assert!(v.is_finite() && (-f64::EPSILON..0.0).contains(&v), "got {v}");
+            assert!(
+                v.is_finite() && (-f64::EPSILON..0.0).contains(&v),
+                "got {v}"
+            );
             let w = rng.gen_range(-1.0000000000000002f64..-1.0);
             assert!(w < -1.0, "got {w}");
             let z = rng.gen_range(-2.0f64..=-1.0);

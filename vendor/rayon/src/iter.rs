@@ -1,0 +1,272 @@
+//! Indexed, order-preserving parallel iterators over the pool in
+//! [`crate::pool`].
+//!
+//! Unlike real rayon's splitter/plumbing architecture, every iterator here
+//! is an *indexed source*: it knows its length and can produce the item at
+//! any index independently.  Adapters compose the per-index production
+//! function; terminal operations hand chunk ranges to the current pool and
+//! reassemble per-chunk buffers **in index order**, so:
+//!
+//! * `collect::<Vec<_>>()` returns items in exactly the order the serial
+//!   iterator would produce them, for any thread count and any scheduling;
+//! * `sum()` and `for_each` on collected buffers fold in index order, so
+//!   floating-point reductions are bit-for-bit identical to serial code
+//!   (chunk-local partial reductions would not be).
+//!
+//! That indexed contract is what lets `SS_THREADS=1` and `SS_THREADS=64`
+//! runs of the simulation crates produce identical bytes.
+
+use crate::pool;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// An indexed parallel iterator: a length plus a `Sync` per-index producer.
+///
+/// All adapters and terminal operations are provided methods; implementors
+/// only supply [`len`](ParallelIterator::len) and
+/// [`produce`](ParallelIterator::produce).
+pub trait ParallelIterator: Sync + Sized {
+    /// Item produced for each index.
+    type Item: Send;
+
+    /// Number of items; indices `0..len()` are valid.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index` (called at most once per index per run,
+    /// possibly concurrently from several threads).
+    fn produce(&self, index: usize) -> Self::Item;
+
+    /// Map each item through `f` (lazy; composes the producer).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Run `f` on every item, in parallel on the current pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.len();
+        let p = pool::current();
+        p.run_chunks(
+            n,
+            pool::default_chunk(n, pool::current_num_threads()),
+            &|start, end| {
+                for i in start..end {
+                    f(self.produce(i));
+                }
+            },
+        );
+    }
+
+    /// Collect into `C`, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items **in index order** (bit-identical to the serial sum for
+    /// floating-point items; parallelism only accelerates production).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        collect_vec(&self).into_iter().sum()
+    }
+
+    /// Count the items, producing each one (upstream rayon executes the
+    /// pipeline on `count()`, so side effects in `map` closures must run
+    /// here too for the swap-back to stay behavior-preserving).
+    fn count(self) -> usize {
+        let n = self.len();
+        self.for_each(drop);
+        n
+    }
+}
+
+/// Conversion from an indexed parallel iterator, order-preserving.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the items of `par` in index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self {
+        collect_vec(&par)
+    }
+}
+
+/// Parallel ordered materialization: chunks are produced on the pool, then
+/// reassembled by ascending start index.
+fn collect_vec<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
+    let n = par.len();
+    let parts: Mutex<Vec<(usize, Vec<P::Item>)>> = Mutex::new(Vec::new());
+    let p = pool::current();
+    p.run_chunks(
+        n,
+        pool::default_chunk(n, pool::current_num_threads()),
+        &|start, end| {
+            let mut buf = Vec::with_capacity(end - start);
+            for i in start..end {
+                buf.push(par.produce(i));
+            }
+            parts.lock().unwrap().push((start, buf));
+        },
+    );
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (start, buf) in parts {
+        debug_assert_eq!(start, out.len(), "chunk boundaries must tile 0..n");
+        out.extend(buf);
+    }
+    assert_eq!(out.len(), n, "pool lost or duplicated indices");
+    out
+}
+
+/// Lazy map adapter (see [`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, index: usize) -> R {
+        (self.f)(self.base.produce(index))
+    }
+}
+
+/// Conversion into an indexed parallel iterator (rayon's
+/// `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Indexed parallel iterator over an integer range.
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn produce(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u64, u32, i64, i32);
+
+/// Indexed parallel iterator over shared slice elements.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `.par_iter()` on a borrowed collection (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}

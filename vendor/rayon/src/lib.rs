@@ -1,50 +1,38 @@
-//! Minimal offline shim of the `rayon` API used by this workspace.
+//! In-repo replacement for the `rayon` parallel-iterator API, backed by a
+//! real `std::thread` pool.
 //!
-//! `into_par_iter()` / `par_iter()` return **sequential** `std` iterators, so
-//! every adapter (`map`, `collect`, …) compiles and behaves identically to
-//! the serial path — results are bit-for-bit equal to the parallel version by
-//! construction, just without the speedup. The `Sync`/`Send` bounds of real
-//! rayon are preserved at the call sites (closures there already satisfy
-//! them), so swapping the real crate back in is a one-line manifest change.
+//! Earlier revisions of this shim returned **sequential** `std` iterators;
+//! `into_par_iter()` / `par_iter()` now schedule chunked index ranges onto a
+//! shared worker pool ([`pool`]), so the existing call sites in `ss-sim`,
+//! `ss-batch` and `ss-queueing` run genuinely parallel with no call-site
+//! changes.  Two properties define the implementation:
+//!
+//! * **Determinism** — iterators are indexed and terminal operations
+//!   reassemble results in index order, so parallel output (including
+//!   floating-point reductions) is bit-for-bit identical to serial output
+//!   for any thread count.  See [`iter`] for the contract.
+//! * **Caller participation** — the submitting thread is always one of the
+//!   compute lanes, so `SS_THREADS=1` (or a single-core host) degrades to
+//!   plain serial execution with no synchronization beyond one atomic per
+//!   chunk.
+//!
+//! The pool is configured with `SS_THREADS` /
+//! [`std::thread::available_parallelism`], or explicitly via
+//! [`pool::ThreadPool`] and [`pool::ThreadPool::install`]; `ss_sim::pool`
+//! re-exports those controls for the rest of the workspace.  Swapping the
+//! real rayon crate back in remains a one-line manifest change: call sites
+//! only use the `prelude` names with their upstream semantics.
+
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, join, ThreadPool};
 
 pub mod prelude {
-    /// `IntoIterator`-backed replacement for rayon's `IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Replacement for rayon's `IntoParallelRefIterator` (`.par_iter()`).
-    pub trait IntoParallelRefIterator<'a> {
-        type Item: 'a;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
-        }
-    }
+    //! The rayon-compatible trait imports used at call sites.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
@@ -54,7 +42,7 @@ mod tests {
     #[test]
     fn into_par_iter_matches_serial() {
         let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
-        let par: Vec<usize> = (0..100).into_par_iter().map(|i| i * i).collect();
+        let par: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(serial, par);
     }
 
@@ -63,5 +51,38 @@ mod tests {
         let v = vec![1, 2, 3];
         let s: i32 = v.par_iter().sum();
         assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn par_iter_preserves_order_on_large_inputs() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<u64> = v.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_to_serial() {
+        // Summation order must match the serial left fold exactly.
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let serial: f64 = v.iter().copied().sum();
+        let parallel: f64 = v.par_iter().map(|&x: &f64| x).sum();
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn empty_range_collects_to_empty_vec() {
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|i| i * 2).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..257u32).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 257);
     }
 }
