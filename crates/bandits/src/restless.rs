@@ -510,32 +510,37 @@ pub struct AsymptoticPoint {
 
 /// Sweep `N` (with `m = round(alpha N)`) for identical copies of `project`,
 /// measuring the Whittle policy against the relaxation bound (E10).
-pub fn asymptotic_sweep<R: Rng + ?Sized>(
+///
+/// The Whittle indices and the relaxation bound are computed once; the sweep
+/// points are then simulated in parallel on the workspace thread pool, each
+/// drawing from its own [`ss_sim::RngStreams`] stream keyed by the point
+/// index, so the output is bit-for-bit identical for any thread count.
+pub fn asymptotic_sweep(
     project: &RestlessProject,
     alpha: f64,
     project_counts: &[usize],
     horizon: usize,
-    rng: &mut R,
+    seed: u64,
 ) -> Vec<AsymptoticPoint> {
     let indices = whittle_indices(project);
     let bound = relaxation_bound_identical(project, alpha);
-    project_counts
-        .iter()
-        .map(|&n| {
-            let m = ((alpha * n as f64).round() as usize).clamp(1, n);
-            let projects: Vec<RestlessProject> = (0..n).map(|_| project.clone()).collect();
-            let policy = RestlessPolicy::WhittleIndex(vec![indices.clone(); n]);
-            let avg = simulate_restless(&projects, m, &policy, horizon, rng);
-            let per_project = avg / n as f64;
-            AsymptoticPoint {
-                n_projects: n,
-                m_active: m,
-                whittle_per_project: per_project,
-                bound_per_project: bound,
-                relative_gap: (bound - per_project) / bound.abs().max(1e-12),
-            }
-        })
-        .collect()
+    let streams = ss_sim::RngStreams::new(seed);
+    ss_sim::pool::parallel_indexed(project_counts.len(), |point| {
+        let n = project_counts[point];
+        let m = ((alpha * n as f64).round() as usize).clamp(1, n);
+        let projects: Vec<RestlessProject> = (0..n).map(|_| project.clone()).collect();
+        let policy = RestlessPolicy::WhittleIndex(vec![indices.clone(); n]);
+        let mut rng = streams.stream(point as u64);
+        let avg = simulate_restless(&projects, m, &policy, horizon, &mut rng);
+        let per_project = avg / n as f64;
+        AsymptoticPoint {
+            n_projects: n,
+            m_active: m,
+            whittle_per_project: per_project,
+            bound_per_project: bound,
+            relative_gap: (bound - per_project) / bound.abs().max(1e-12),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -637,8 +642,7 @@ mod tests {
         // E10 shape: the per-project gap to the relaxation bound shrinks as
         // N grows with the activation fraction fixed.
         let p = maint();
-        let mut rng = ChaCha8Rng::seed_from_u64(77);
-        let points = asymptotic_sweep(&p, 0.3, &[5, 60], 30_000, &mut rng);
+        let points = asymptotic_sweep(&p, 0.3, &[5, 60], 30_000, 77);
         assert_eq!(points.len(), 2);
         assert!(
             points[1].relative_gap < points[0].relative_gap,
@@ -650,6 +654,29 @@ mod tests {
             "large-N gap should be small: {:?}",
             points[1]
         );
+    }
+
+    #[test]
+    fn asymptotic_sweep_is_thread_count_invariant() {
+        let p = maint();
+        let run = |threads: usize| {
+            ss_sim::pool::with_threads(threads, || {
+                asymptotic_sweep(&p, 0.3, &[5, 10, 20], 5_000, 42)
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.n_projects, b.n_projects);
+            assert_eq!(a.m_active, b.m_active);
+            assert_eq!(
+                a.whittle_per_project.to_bits(),
+                b.whittle_per_project.to_bits()
+            );
+            assert_eq!(a.bound_per_project.to_bits(), b.bound_per_project.to_bits());
+            assert_eq!(a.relative_gap.to_bits(), b.relative_gap.to_bits());
+        }
     }
 
     #[test]

@@ -40,9 +40,15 @@
 use crate::parallel::{evaluate_list_policy, ParallelMetric};
 use crate::policies::wsept_order;
 use crate::single_machine::expected_weighted_flowtime;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use ss_core::instance::{BatchInstance, InstanceGenerator};
+use ss_sim::rng::RngStreams;
+
+/// Sub-id under which a point's instance generator is derived, keeping it
+/// in a different [`RngStreams`] family than the replication streams
+/// (`stream(0..replications)`) that the evaluator derives from the same
+/// seed — replication `n` must not reuse the generator that built the
+/// instance for job count `n`.
+const INSTANCE_SUB_ID: u64 = 0;
 
 /// One row of the turnpike sweep.
 #[derive(Debug, Clone)]
@@ -98,6 +104,15 @@ pub fn eei_lower_bound(durations: &[f64], weights: &[f64], machines: usize) -> f
 /// Run the turnpike sweep: for each `n` in `job_counts`, generate an
 /// exponential-job instance (reproducibly from `seed`), simulate WSEPT on
 /// `machines` machines and compare with the relaxation lower bound.
+///
+/// The points are fanned out over the workspace thread pool.  Each point's
+/// instance is drawn from its own [`RngStreams`] *sub*stream keyed by `n`
+/// (so a given job count always sees the same instance regardless of which
+/// other counts are in the sweep, and the instance generator never collides
+/// with the plain replication streams the Monte-Carlo evaluation derives
+/// from the same `seed`), and every point's evaluation uses the same `seed`
+/// (common random numbers across points); the output is therefore
+/// bit-for-bit identical for any thread count.
 pub fn turnpike_sweep(
     generator: &InstanceGenerator,
     job_counts: &[usize],
@@ -105,38 +120,39 @@ pub fn turnpike_sweep(
     replications: usize,
     seed: u64,
 ) -> Vec<TurnpikePoint> {
-    job_counts
-        .iter()
-        .map(|&n| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E37_79B9));
-            let instance = generator.generate(n, &mut rng);
-            let order = wsept_order(&instance);
-            let summary = evaluate_list_policy(
-                &instance,
-                &order,
-                machines,
-                ParallelMetric::WeightedFlowtime,
-                replications,
-                seed,
-            );
-            let lower_bound = fast_single_machine_bound(&instance, machines);
-            let additive_gap = summary.mean - lower_bound;
-            TurnpikePoint {
-                n,
-                machines,
-                wsept_value: summary.mean,
-                wsept_ci95: summary.ci95,
-                lower_bound,
-                additive_gap,
-                relative_gap: additive_gap / lower_bound,
-            }
-        })
-        .collect()
+    let streams = RngStreams::new(seed);
+    ss_sim::pool::parallel_indexed(job_counts.len(), |point| {
+        let n = job_counts[point];
+        let mut rng = streams.substream(n as u64, INSTANCE_SUB_ID);
+        let instance = generator.generate(n, &mut rng);
+        let order = wsept_order(&instance);
+        let summary = evaluate_list_policy(
+            &instance,
+            &order,
+            machines,
+            ParallelMetric::WeightedFlowtime,
+            replications,
+            seed,
+        );
+        let lower_bound = fast_single_machine_bound(&instance, machines);
+        let additive_gap = summary.mean - lower_bound;
+        TurnpikePoint {
+            n,
+            machines,
+            wsept_value: summary.mean,
+            wsept_ci95: summary.ci95,
+            lower_bound,
+            additive_gap,
+            relative_gap: additive_gap / lower_bound,
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
     use ss_core::instance::InstanceFamily;
     use ss_distributions::dyn_dist;
     use ss_distributions::{Deterministic, Exponential};
@@ -230,6 +246,41 @@ mod tests {
             "relative gap should shrink: {} -> {}",
             points[0].relative_gap,
             points[1].relative_gap
+        );
+    }
+
+    #[test]
+    fn turnpike_sweep_is_thread_count_invariant() {
+        let gen = InstanceGenerator::with_family(InstanceFamily::Exponential);
+        let run = |threads: usize| {
+            ss_sim::pool::with_threads(threads, || turnpike_sweep(&gen, &[10, 20, 40], 3, 200, 11))
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.wsept_value.to_bits(), b.wsept_value.to_bits());
+            assert_eq!(a.wsept_ci95.to_bits(), b.wsept_ci95.to_bits());
+            assert_eq!(a.lower_bound.to_bits(), b.lower_bound.to_bits());
+            assert_eq!(a.relative_gap.to_bits(), b.relative_gap.to_bits());
+        }
+    }
+
+    #[test]
+    fn turnpike_instances_are_stable_per_job_count() {
+        // The instance behind a given n must not depend on which other
+        // counts are in the sweep (streams are keyed by n, not position).
+        let gen = InstanceGenerator::with_family(InstanceFamily::Exponential);
+        let alone = turnpike_sweep(&gen, &[40], 3, 100, 5);
+        let with_others = turnpike_sweep(&gen, &[10, 40, 80], 3, 100, 5);
+        assert_eq!(
+            alone[0].wsept_value.to_bits(),
+            with_others[1].wsept_value.to_bits()
+        );
+        assert_eq!(
+            alone[0].lower_bound.to_bits(),
+            with_others[1].lower_bound.to_bits()
         );
     }
 }

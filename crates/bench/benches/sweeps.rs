@@ -1,0 +1,27 @@
+//! Benchmarks of the pool-parallelised Monte-Carlo sweeps (experiments E6 /
+//! E13 / E10) at 1 vs N pool threads — the microscale companion of the
+//! `sweeps` binary that records `BENCH_sweeps.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::sweeps::sweep_workloads;
+use ss_sim::pool;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in sweep_workloads() {
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(w.name, threads),
+                &threads,
+                |b, &threads| b.iter(|| pool::with_threads(threads, w.run)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,45 +1,149 @@
 //! Experiment harness binary.
 //!
 //! ```text
-//! cargo run --release -p ss-bench --bin experiments            # run everything
-//! cargo run --release -p ss-bench --bin experiments -- E7 E10  # run a subset
-//! cargo run --release -p ss-bench --bin experiments -- --list  # list experiments
+//! cargo run --release -p ss-bench --bin experiments                 # run everything
+//! cargo run --release -p ss-bench --bin experiments -- E7 E10       # run a subset
+//! cargo run --release -p ss-bench --bin experiments -- --list       # list experiments
+//! cargo run --release -p ss-bench --bin experiments -- --jobs 4     # harness concurrency
+//! cargo run --release -p ss-bench --bin experiments -- --json       # timing summary as JSON
+//! cargo run --release -p ss-bench --bin experiments -- --markdown   # emit EXPERIMENTS.md
 //! ```
+//!
+//! Experiments run concurrently on `--jobs` pool lanes (default: the
+//! workspace pool size, i.e. `SS_THREADS` or the host's parallelism); every
+//! report is buffered and printed in E-id order once all runs finish, so the
+//! report text is byte-for-byte identical for any `--jobs` value and
+//! `--jobs 1` reproduces the historical strictly sequential harness.  Two
+//! things vary run to run: the wall-clock lines (`[Ex finished in ...]`,
+//! and the `--json` timings), which CI's determinism diff filters out, and
+//! E21's report body, which embeds its own measured thread-sweep timings —
+//! byte-identity consumers must exclude E21 (CI's diff subset does).
+//!
+//! A panicking experiment does not abort the harness: its report is
+//! replaced by a `PANICKED:` line, everything that finished still prints,
+//! and the binary exits nonzero at the end.
 
-use ss_bench::experiments::all_experiments;
-use std::time::Instant;
+use ss_bench::experiments::{all_experiments, markdown_document, run_experiments, Experiment};
+use ss_bench::json;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: experiments [--list] [--jobs N] [--json | --markdown] [E1 E2 ...]");
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
 
-    if args.iter().any(|a| a == "--list") {
+    let mut jobs: Option<usize> = None;
+    let mut json_mode = false;
+    let mut markdown_mode = false;
+    let mut list_mode = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list_mode = true,
+            "--json" => json_mode = true,
+            "--markdown" => markdown_mode = true,
+            "--jobs" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a value"));
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => usage_error(&format!("invalid --jobs value {value:?}")),
+                }
+            }
+            flag if flag.starts_with("--") => usage_error(&format!("unknown flag {flag:?}")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if json_mode && markdown_mode {
+        usage_error("--json and --markdown are mutually exclusive");
+    }
+    if markdown_mode && !ids.is_empty() {
+        // The markdown document's header claims the full E1-E21 suite; a
+        // subset would silently overwrite EXPERIMENTS.md with partial data.
+        usage_error("--markdown regenerates the full document; don't combine it with ids");
+    }
+
+    if list_mode {
         for e in &experiments {
             println!("{:<4} {}", e.id, e.description);
         }
         return;
     }
 
-    let selected: Vec<_> = if args.is_empty() {
+    let selected: Vec<&Experiment> = if ids.is_empty() {
         experiments.iter().collect()
     } else {
         experiments
             .iter()
-            .filter(|e| args.iter().any(|a| a.eq_ignore_ascii_case(e.id)))
+            .filter(|e| ids.iter().any(|a| a.eq_ignore_ascii_case(e.id)))
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matches {args:?}; use --list to see the available ids");
+        eprintln!("no experiment matches {ids:?}; use --list to see the available ids");
         std::process::exit(1);
     }
 
-    for e in selected {
-        let start = Instant::now();
-        println!("\n================================================================");
-        println!("{} — {}", e.id, e.description);
-        println!("================================================================\n");
-        let report = (e.run)();
-        println!("{report}");
-        println!("[{} finished in {:.1?}]", e.id, start.elapsed());
+    let jobs = jobs.unwrap_or_else(ss_sim::pool::num_threads);
+    let start = std::time::Instant::now();
+    let reports = run_experiments(&selected, jobs);
+    let total = start.elapsed();
+    let panicked: Vec<&str> = reports
+        .iter()
+        .filter(|r| r.panicked)
+        .map(|r| r.id)
+        .collect();
+
+    if markdown_mode {
+        // Never emit a partial document: this mode's stdout is usually
+        // redirected straight over EXPERIMENTS.md.
+        if !panicked.is_empty() {
+            eprintln!("refusing to emit markdown: experiments panicked: {panicked:?}");
+            std::process::exit(1);
+        }
+        print!("{}", markdown_document(&reports));
+        return;
+    }
+
+    if json_mode {
+        let mut body = String::from("{\n");
+        body.push_str("  \"harness\": \"experiments\",\n");
+        body.push_str(&format!("  \"jobs\": {jobs},\n"));
+        body.push_str(&json::host_env_fields());
+        body.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n",
+            total.as_secs_f64() * 1e3
+        ));
+        body.push_str("  \"experiments\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"id\": \"{}\", \"description\": \"{}\", \"wall_ms\": {:.3}, \"panicked\": {}}}{}\n",
+                json::escape(r.id),
+                json::escape(r.description),
+                r.wall.as_secs_f64() * 1e3,
+                r.panicked,
+                if i + 1 < reports.len() { "," } else { "" }
+            ));
+        }
+        body.push_str("  ]\n}");
+        println!("{body}");
+    } else {
+        for r in &reports {
+            println!("\n================================================================");
+            println!("{} — {}", r.id, r.description);
+            println!("================================================================\n");
+            println!("{}", r.report);
+            println!("[{} finished in {:.1?}]", r.id, r.wall);
+        }
+        println!("\n[harness total: {total:.1?} with --jobs {jobs}]");
+    }
+    if !panicked.is_empty() {
+        eprintln!("experiments panicked: {panicked:?}");
+        std::process::exit(1);
     }
 }

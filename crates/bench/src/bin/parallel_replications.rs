@@ -16,6 +16,7 @@
 //! hard gate, the timings are informational.
 
 use ss_bench::experiments::parallel_replication_workload;
+use ss_bench::json;
 use ss_sim::pool;
 use std::time::Instant;
 
@@ -67,24 +68,14 @@ fn check_only() -> bool {
     ok
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn write_json(path: &str, points: &[Point], host: usize) -> std::io::Result<()> {
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let ss_threads = std::env::var("SS_THREADS").ok();
+fn write_json(path: &str, points: &[Point]) -> std::io::Result<()> {
     let mut body = String::from("{\n");
     body.push_str("  \"benchmark\": \"parallel_replications\",\n");
-    body.push_str(&format!("  \"generated_unix_time\": {unix_time},\n"));
-    body.push_str(&format!("  \"host_logical_cpus\": {host},\n"));
-    match &ss_threads {
-        Some(v) => body.push_str(&format!("  \"ss_threads_env\": \"{}\",\n", json_escape(v))),
-        None => body.push_str("  \"ss_threads_env\": null,\n"),
-    }
+    body.push_str(&format!(
+        "  \"generated_unix_time\": {},\n",
+        json::unix_time()
+    ));
+    body.push_str(&json::host_env_fields());
     body.push_str(
         "  \"workload\": \"ss-batch list-schedule simulation: 200 mixed-distribution jobs on 4 \
          machines, E[sum C] by independent replications (experiment E21 workload)\",\n",
@@ -156,7 +147,7 @@ fn main() {
         }
     }
 
-    if let Err(e) = write_json(json_path, &points, host) {
+    if let Err(e) = write_json(json_path, &points) {
         eprintln!("failed to write {json_path}: {e}");
         std::process::exit(2);
     }

@@ -58,6 +58,137 @@ pub struct Experiment {
     pub run: fn() -> String,
 }
 
+impl Experiment {
+    /// Whether this experiment's *report* contains wall-clock measurements
+    /// of its own pool sweeps, so it must not share the machine with
+    /// concurrently running neighbours (the values would still be
+    /// bit-identical — only the reported timings would be distorted).
+    pub fn timing_sensitive(&self) -> bool {
+        self.id == "E21"
+    }
+}
+
+/// One experiment's captured report plus the wall-clock it took to produce.
+pub struct ExperimentReport {
+    /// Identifier such as `"E1"`.
+    pub id: &'static str,
+    /// One-line description (copied from the [`Experiment`]).
+    pub description: &'static str,
+    /// The markdown report the experiment returned, or a `PANICKED: ...`
+    /// line when it did not finish (see [`ExperimentReport::panicked`]).
+    pub report: String,
+    /// Wall-clock of this experiment's `run()` call.
+    pub wall: std::time::Duration,
+    /// Whether `run()` panicked.  The panic is captured per experiment so a
+    /// single failure cannot discard the other buffered reports; callers
+    /// that need a hard failure (the binary, the bench gates) check this
+    /// and exit nonzero after printing everything that did finish.
+    pub panicked: bool,
+}
+
+/// Run `selected` experiments with `jobs` concurrent harness lanes and
+/// return the reports in the order they were selected (E-id order when the
+/// caller preserves it), each with its wall-clock.
+///
+/// With `jobs == 1` the experiments run sequentially on the calling thread
+/// exactly as the harness always did (inner Monte-Carlo loops still use the
+/// global pool).  With `jobs > 1` the experiments are fanned out over a
+/// dedicated pool of `jobs` lanes; each experiment's own parallel calls
+/// then fall back to serial on its worker (nested-parallelism rule), so
+/// concurrency moves to the coarsest grain.  Either way every experiment
+/// draws from its own fixed-seed [`ss_sim::RngStreams`]-derived generators,
+/// so the *reports* are byte-for-byte identical for any `jobs` value — only
+/// the wall-clocks change — with one exception: timing-sensitive
+/// experiments (E21) embed their own measured wall-clock tables in the
+/// report body, which vary run to run by construction.  They always run
+/// alone, after the concurrent batch, and byte-identity consumers (the
+/// `sweeps` gate, CI's harness diff) exclude them.
+pub fn run_experiments(selected: &[&Experiment], jobs: usize) -> Vec<ExperimentReport> {
+    assert!(jobs >= 1, "need at least one harness job");
+    let timed = |e: &Experiment| {
+        let start = std::time::Instant::now();
+        // Capture a panic instead of unwinding through the harness: one
+        // failing experiment must not discard the buffered reports of the
+        // experiments that finished.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(e.run));
+        let wall = start.elapsed();
+        let (report, panicked) = match outcome {
+            Ok(report) => (report, false),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                (format!("PANICKED: {msg}\n"), true)
+            }
+        };
+        ExperimentReport {
+            id: e.id,
+            description: e.description,
+            report,
+            wall,
+            panicked,
+        }
+    };
+    if jobs == 1 {
+        return selected.iter().map(|e| timed(e)).collect();
+    }
+    let (concurrent, exclusive): (Vec<usize>, Vec<usize>) =
+        (0..selected.len()).partition(|&i| !selected[i].timing_sensitive());
+    let batch = ss_sim::pool::with_threads(jobs, || {
+        ss_sim::pool::parallel_indexed(concurrent.len(), |i| timed(selected[concurrent[i]]))
+    });
+    let mut slots: Vec<Option<ExperimentReport>> = (0..selected.len()).map(|_| None).collect();
+    for (&slot, report) in concurrent.iter().zip(batch) {
+        slots[slot] = Some(report);
+    }
+    // Timing-sensitive experiments get the machine to themselves, with no
+    // installed pool, so they can size and measure their own pools.
+    for &i in &exclusive {
+        slots[i] = Some(timed(selected[i]));
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every selected experiment ran"))
+        .collect()
+}
+
+/// Assemble the `EXPERIMENTS.md` document from captured reports
+/// (`experiments --markdown` pipes this straight into the file).
+pub fn markdown_document(reports: &[ExperimentReport]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut out = String::from(
+        "# EXPERIMENTS — measured results of E1–E21\n\nGenerated with:\n\n```\ncargo run --release -p ss-bench --bin experiments -- --markdown > EXPERIMENTS.md\n```\n\n",
+    );
+    out.push_str(&format!(
+        "Every experiment is deterministic: fixed master seeds live in\n\
+         `crates/bench/src/workloads.rs`, every replication and every sweep point\n\
+         draws from its own ChaCha8 stream keyed by `(master seed, stream id)`\n\
+         (`ss_sim::RngStreams`), and the parallel engine collects results in\n\
+         index order, so these tables are bit-for-bit reproducible for any\n\
+         `SS_THREADS` setting and any `--jobs` harness concurrency.  Wall-clock\n\
+         lines are from the generating host ({host} logical CPU(s) for this\n\
+         revision — see E21, `BENCH_parallel_replications.json` and\n\
+         `BENCH_sweeps.json` for the serial-vs-parallel trajectories).\n\n\
+         Per-experiment descriptions and the claims under test are catalogued in\n\
+         `DESIGN.md`; `cargo run --release -p ss-bench --bin experiments -- --list`\n\
+         prints the id/description index.\n\n",
+    ));
+    for r in reports {
+        out.push_str(&format!("## {} — {}\n\n", r.id, r.description));
+        out.push_str(r.report.trim_end());
+        out.push_str(&format!("\n\n*({} wall-clock: {:.1?})*\n\n", r.id, r.wall));
+    }
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    out.push('\n');
+    out
+}
+
 /// All experiments in id order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
@@ -421,7 +552,9 @@ fn e6_turnpike() -> String {
             p.n, p.wsept_value, p.wsept_ci95, p.lower_bound, p.additive_gap, p.relative_gap
         ));
     }
-    out.push_str("\nThe relative gap falls monotonically with n (Weiss's turnpike shape).\n");
+    out.push_str(
+        "\nThe relative gap falls with n, up to Monte-Carlo noise in its small tail (Weiss's turnpike shape).\n",
+    );
     out
 }
 
@@ -539,9 +672,14 @@ fn e10_restless_whittle() -> String {
     table.add("random", random, None, "");
     out.push_str(&table.to_markdown());
 
-    // Weber–Weiss asymptotics.
-    let mut rng = workloads::rng_for(1001);
-    let points = asymptotic_sweep(&project, 0.3, &[5, 10, 20, 40, 80, 160], 40_000, &mut rng);
+    // Weber–Weiss asymptotics (per-point RNG streams, fanned over the pool).
+    let points = asymptotic_sweep(
+        &project,
+        0.3,
+        &[5, 10, 20, 40, 80, 160],
+        40_000,
+        workloads::seed_for(1001),
+    );
     out.push_str("\n| N | m | Whittle per project | bound per project | relative gap |\n|---|---|---|---|---|\n");
     for p in &points {
         out.push_str(&format!(
@@ -684,14 +822,14 @@ fn e12_klimov() -> String {
 
 fn e13_parallel_servers() -> String {
     let base = workloads::mmm_two_classes();
-    let mut rng = workloads::rng_for(1300);
+    // Per-point RNG streams, fanned over the pool.
     let points = heavy_traffic_sweep(
         &base,
         2,
         &[1.0, 1.6, 2.0, 2.3, 2.5],
         300_000.0,
         10_000.0,
-        &mut rng,
+        workloads::seed_for(1300),
     );
     let mut out = String::from(
         "### E13: 2-class M/M/2 under the cmu rule vs fast-single-server bound\n\n| rho | cmu cost (sim) | lower bound | ratio |\n|---|---|---|---|\n",
@@ -1175,6 +1313,54 @@ mod tests {
         assert!(e3.contains("SEPT"));
         let e9 = e9_switching_costs();
         assert!(e9.contains("hysteresis"));
+    }
+
+    #[test]
+    fn harness_reports_are_identical_across_jobs() {
+        // The concurrent harness only changes scheduling, never content:
+        // a cheap subset (two exact experiments plus the E6 sweep) must
+        // produce byte-identical reports at --jobs 1 and --jobs 4.
+        let all = all_experiments();
+        let subset: Vec<&Experiment> = all
+            .iter()
+            .filter(|e| matches!(e.id, "E3" | "E5" | "E6" | "E9"))
+            .collect();
+        let serial = run_experiments(&subset, 1);
+        let parallel = run_experiments(&subset, 4);
+        assert_eq!(serial.len(), 4);
+        assert_eq!(parallel.len(), 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.id, b.id, "report order must be the selection order");
+            assert_eq!(a.report, b.report, "{} diverged across jobs", a.id);
+        }
+    }
+
+    #[test]
+    fn panicking_experiment_is_captured_not_propagated() {
+        fn boom() -> String {
+            panic!("deliberate test panic")
+        }
+        fn fine() -> String {
+            "completed fine\n".to_string()
+        }
+        let bad = Experiment {
+            id: "EX",
+            description: "always panics",
+            run: boom,
+        };
+        let good = Experiment {
+            id: "EY",
+            description: "always completes",
+            run: fine,
+        };
+        for jobs in [1usize, 4] {
+            let reports = run_experiments(&[&bad, &good], jobs);
+            assert_eq!(reports.len(), 2, "jobs={jobs}");
+            assert!(reports[0].panicked);
+            assert!(reports[0].report.contains("deliberate test panic"));
+            assert!(!reports[1].panicked);
+            assert_eq!(reports[1].report, "completed fine\n");
+        }
     }
 
     #[test]

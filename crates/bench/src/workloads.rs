@@ -17,9 +17,15 @@ use ss_queueing::klimov::KlimovNetwork;
 /// Master seed used by every experiment (recorded in EXPERIMENTS.md).
 pub const MASTER_SEED: u64 = 20260613;
 
+/// The derived master seed for a named workload: what seed-taking sweeps
+/// (which fan out their own per-point `RngStreams`) receive for tag `tag`.
+pub fn seed_for(tag: u64) -> u64 {
+    MASTER_SEED ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// A reproducible RNG for a named workload.
 pub fn rng_for(tag: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(MASTER_SEED ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    ChaCha8Rng::seed_from_u64(seed_for(tag))
 }
 
 /// Random batch instance of `n` jobs from the given family.

@@ -174,41 +174,45 @@ pub struct HeavyTrafficPoint {
 
 /// Sweep the load by scaling all arrival rates: for each factor, simulate
 /// the cµ rule on `servers` servers and compare with the lower bound.
+///
+/// The sweep points are simulated in parallel on the workspace thread pool;
+/// each point draws from its own [`ss_sim::RngStreams`] stream keyed by the
+/// point index, so the output is bit-for-bit identical for any thread count.
 pub fn heavy_traffic_sweep(
     base_classes: &[JobClass],
     servers: usize,
     load_factors: &[f64],
     horizon: f64,
     warmup: f64,
-    rng: &mut dyn RngCore,
+    seed: u64,
 ) -> Vec<HeavyTrafficPoint> {
-    load_factors
-        .iter()
-        .map(|&factor| {
-            let classes: Vec<JobClass> = base_classes
-                .iter()
-                .map(|c| {
-                    JobClass::new(
-                        c.id,
-                        c.arrival_rate * factor,
-                        c.service.clone(),
-                        c.holding_cost,
-                    )
-                })
-                .collect();
-            let rho: f64 = classes.iter().map(|c| c.load()).sum::<f64>() / servers as f64;
-            assert!(rho < 1.0, "sweep point is unstable (rho = {rho})");
-            let order = cmu_order(&classes);
-            let sim = simulate_mmm_priority(&classes, servers, &order, horizon, warmup, rng);
-            let lb = fast_server_lower_bound(&classes, servers);
-            HeavyTrafficPoint {
-                rho,
-                cmu_cost: sim.holding_cost_rate,
-                lower_bound: lb,
-                ratio: sim.holding_cost_rate / lb,
-            }
-        })
-        .collect()
+    let streams = ss_sim::RngStreams::new(seed);
+    ss_sim::pool::parallel_indexed(load_factors.len(), |point| {
+        let factor = load_factors[point];
+        let classes: Vec<JobClass> = base_classes
+            .iter()
+            .map(|c| {
+                JobClass::new(
+                    c.id,
+                    c.arrival_rate * factor,
+                    c.service.clone(),
+                    c.holding_cost,
+                )
+            })
+            .collect();
+        let rho: f64 = classes.iter().map(|c| c.load()).sum::<f64>() / servers as f64;
+        assert!(rho < 1.0, "sweep point is unstable (rho = {rho})");
+        let order = cmu_order(&classes);
+        let mut rng = streams.stream(point as u64);
+        let sim = simulate_mmm_priority(&classes, servers, &order, horizon, warmup, &mut rng);
+        let lb = fast_server_lower_bound(&classes, servers);
+        HeavyTrafficPoint {
+            rho,
+            cmu_cost: sim.holding_cost_rate,
+            lower_bound: lb,
+            ratio: sim.holding_cost_rate / lb,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -292,8 +296,7 @@ mod tests {
     fn heavy_traffic_ratio_approaches_one() {
         // E13 shape: the ratio sim / bound falls toward 1 as rho -> 1.
         let classes = base_classes(); // load 0.74 on 2 servers at factor 1... scale below
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let points = heavy_traffic_sweep(&classes, 2, &[1.0, 2.4], 120_000.0, 4_000.0, &mut rng);
+        let points = heavy_traffic_sweep(&classes, 2, &[1.0, 2.4], 120_000.0, 4_000.0, 5);
         assert_eq!(points.len(), 2);
         assert!(points[0].rho < points[1].rho && points[1].rho < 1.0);
         assert!(points[0].ratio >= 1.0 - 0.05);
@@ -302,5 +305,24 @@ mod tests {
             "ratio should fall towards 1 in heavy traffic: {:?}",
             points
         );
+    }
+
+    #[test]
+    fn heavy_traffic_sweep_is_thread_count_invariant() {
+        let classes = base_classes();
+        let run = |threads: usize| {
+            ss_sim::pool::with_threads(threads, || {
+                heavy_traffic_sweep(&classes, 2, &[1.0, 1.6, 2.0], 30_000.0, 1_000.0, 42)
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.rho.to_bits(), b.rho.to_bits());
+            assert_eq!(a.cmu_cost.to_bits(), b.cmu_cost.to_bits());
+            assert_eq!(a.lower_bound.to_bits(), b.lower_bound.to_bits());
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+        }
     }
 }
