@@ -1,0 +1,31 @@
+//! Benchmark of the oracle cross-validation corpus (`ss-verify`): how fast
+//! the full fast-budget corpus runs at different pool sizes.  The corpus is
+//! the same one CI's `verify --check` gate executes, so this tracks the
+//! cost of the determinism gate itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_sim::pool;
+use ss_verify::corpus::generate_corpus;
+use ss_verify::run::run_corpus;
+use ss_verify::scenario::Budget;
+use ss_verify::DEFAULT_SEED;
+
+fn bench_verify_corpus(c: &mut Criterion) {
+    let corpus = generate_corpus(DEFAULT_SEED);
+    let budget = Budget::check();
+    let mut group = c.benchmark_group("verify_corpus");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| pool::with_threads(threads, || run_corpus(&corpus, &budget))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_corpus);
+criterion_main!(benches);

@@ -33,9 +33,11 @@
 //! assert!((sol.objective + 2.8).abs() < 1e-9); // optimum at (1.6, 1.2)
 //! ```
 
+pub mod duality;
 pub mod model;
 pub mod simplex;
 pub mod solution;
 
+pub use duality::{standard_dual, standard_primal};
 pub use model::{LinearProgram, Relation};
 pub use solution::{LpError, LpSolution, LpStatus};

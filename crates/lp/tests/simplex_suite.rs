@@ -1,0 +1,157 @@
+//! Simplex test suite on known LPs: degeneracy, unbounded/infeasible
+//! detection, and zero duality gap on feasible primal/dual pairs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ss_lp::duality::{standard_dual, standard_primal};
+use ss_lp::{LinearProgram, LpError, Relation};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+}
+
+// ---- degeneracy ----
+
+#[test]
+fn degenerate_vertex_is_handled() {
+    // The vertex (1, 0) is degenerate: three constraints active in 2D.
+    // max x + 2y s.t. x <= 1, x + y <= 1, x - y <= 1  ->  (0, 1), value 2.
+    let mut lp = LinearProgram::maximize(vec![1.0, 2.0]);
+    lp.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0);
+    lp.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0);
+    lp.add_constraint(vec![1.0, -1.0], Relation::Le, 1.0);
+    let sol = lp.solve().unwrap();
+    assert_close(sol.objective, 2.0, 1e-8);
+    assert_close(sol.x[0], 0.0, 1e-8);
+    assert_close(sol.x[1], 1.0, 1e-8);
+}
+
+#[test]
+fn kuhn_cycling_example_terminates() {
+    // A classic cycling-prone LP (Kuhn): Dantzig pricing can loop without
+    // an anti-cycling rule; the Bland fallback must terminate at the
+    // optimum -2 at x = (2, 0, 2, 0) [minimisation form].
+    let mut lp = LinearProgram::minimize(vec![-2.0, -3.0, 1.0, 12.0]);
+    lp.add_constraint(vec![-2.0, -9.0, 1.0, 9.0], Relation::Le, 0.0);
+    lp.add_constraint(vec![1.0 / 3.0, 1.0, -1.0 / 3.0, -2.0], Relation::Le, 0.0);
+    lp.add_constraint(vec![1.0, 0.0, 0.0, 0.0], Relation::Le, 2.0);
+    let sol = lp.solve().unwrap();
+    assert_close(sol.objective, -2.0, 1e-8);
+}
+
+#[test]
+fn redundant_and_zero_rows_do_not_break_phase_one() {
+    // An equality system with a redundant row and a degenerate RHS.
+    let mut lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0]);
+    lp.add_constraint(vec![1.0, 1.0, 0.0], Relation::Eq, 1.0);
+    lp.add_constraint(vec![2.0, 2.0, 0.0], Relation::Eq, 2.0);
+    lp.add_constraint(vec![0.0, 0.0, 1.0], Relation::Ge, 0.0);
+    let sol = lp.solve().unwrap();
+    assert_close(sol.objective, 1.0, 1e-8);
+}
+
+// ---- unbounded / infeasible detection ----
+
+#[test]
+fn unbounded_with_ge_constraints_is_detected() {
+    // min -x - y with x + y >= 1: the feasible cone is unbounded in the
+    // improving direction.
+    let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+    lp.add_constraint(vec![1.0, 1.0], Relation::Ge, 1.0);
+    assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+}
+
+#[test]
+fn unbounded_free_direction_with_binding_rows() {
+    // x is capped but y is free to grow: max y with x <= 3, x >= 1.
+    let mut lp = LinearProgram::maximize(vec![0.0, 1.0]);
+    lp.add_constraint(vec![1.0, 0.0], Relation::Le, 3.0);
+    lp.add_constraint(vec![1.0, 0.0], Relation::Ge, 1.0);
+    assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+}
+
+#[test]
+fn bounded_after_adding_the_missing_cap() {
+    // The same LP becomes solvable once y is capped: a regression guard
+    // that unboundedness detection is not over-eager.
+    let mut lp = LinearProgram::maximize(vec![0.0, 1.0]);
+    lp.add_constraint(vec![1.0, 0.0], Relation::Le, 3.0);
+    lp.add_constraint(vec![1.0, 0.0], Relation::Ge, 1.0);
+    lp.add_constraint(vec![0.0, 1.0], Relation::Le, 7.0);
+    let sol = lp.solve().unwrap();
+    assert_close(sol.objective, 7.0, 1e-8);
+}
+
+#[test]
+fn infeasible_equality_pair_is_detected() {
+    let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+    lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 1.0);
+    lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 2.0);
+    assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+}
+
+// ---- duality ----
+
+#[test]
+fn diet_problem_duality_gap_is_zero() {
+    let a = vec![vec![60.0, 60.0], vec![12.0, 6.0], vec![10.0, 30.0]];
+    let b = vec![300.0, 36.0, 90.0];
+    let c = vec![0.12, 0.15];
+    let p = standard_primal(&a, &b, &c).solve().unwrap();
+    let d = standard_dual(&a, &b, &c).solve().unwrap();
+    assert_close(p.objective, 0.66, 1e-8);
+    assert_close(p.objective, d.objective, 1e-7);
+}
+
+#[test]
+fn random_feasible_pairs_have_zero_duality_gap() {
+    // Positive data makes both problems feasible and bounded, so strong
+    // duality must hold exactly (up to solver tolerance) on every draw.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD0A1);
+    for trial in 0..25 {
+        let n = 2 + trial % 5;
+        let m = 2 + trial % 4;
+        let a: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.1..1.0)).collect())
+            .collect();
+        let b: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..2.5)).collect();
+        let p = standard_primal(&a, &b, &c).solve().unwrap();
+        let d = standard_dual(&a, &b, &c).solve().unwrap();
+        assert!(
+            (p.objective - d.objective).abs() < 1e-6,
+            "trial {trial}: primal {} vs dual {}",
+            p.objective,
+            d.objective
+        );
+        // Weak duality holds along the way (dual never exceeds primal).
+        assert!(d.objective <= p.objective + 1e-6);
+        // Primal feasibility of the reported point.
+        for (row, &rhs) in a.iter().zip(&b) {
+            let lhs: f64 = row.iter().zip(&p.x).map(|(aij, xj)| aij * xj).sum();
+            assert!(lhs >= rhs - 1e-6);
+        }
+    }
+}
+
+#[test]
+fn complementary_slackness_on_a_known_pair() {
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (optimal (2, 6)).
+    // Dual (min 4u + 12v + 18w): optimal (0, 5/6, 1).  Check both solves
+    // and the complementary-slackness products vanish.
+    let mut primal = LinearProgram::maximize(vec![3.0, 5.0]);
+    primal.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+    primal.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+    primal.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+    let p = primal.solve().unwrap();
+
+    let mut dual = LinearProgram::minimize(vec![4.0, 12.0, 18.0]);
+    dual.add_constraint(vec![1.0, 0.0, 3.0], Relation::Ge, 3.0);
+    dual.add_constraint(vec![0.0, 2.0, 2.0], Relation::Ge, 5.0);
+    let d = dual.solve().unwrap();
+
+    assert_close(p.objective, 36.0, 1e-8);
+    assert_close(d.objective, 36.0, 1e-7);
+    // Slack of primal row 1 (x <= 4) is 2 > 0, so the dual price u = 0.
+    assert_close(d.x[0], 0.0, 1e-7);
+}

@@ -1,0 +1,178 @@
+//! Cross-solver suite: policy iteration and value iteration must agree on
+//! random chains, and the average-reward solver must match hand-computed
+//! two-state examples.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ss_mdp::average::average_reward_of_policy;
+use ss_mdp::{
+    policy_iteration, relative_value_iteration, value_iteration, Mdp, MdpBuilder,
+    ValueIterationOptions,
+};
+
+/// A random MDP: `n` states, 2-3 actions per state, dense random
+/// transitions (every state reachable), rewards uniform on [0, 1].
+fn random_mdp(n: usize, rng: &mut ChaCha8Rng) -> Mdp {
+    let mut b = MdpBuilder::new(n);
+    for s in 0..n {
+        let num_actions = 2 + (rng.gen::<u32>() % 2) as usize;
+        for _ in 0..num_actions {
+            let reward = rng.gen::<f64>();
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-3).collect();
+            let total: f64 = weights.iter().sum();
+            let transitions: Vec<(usize, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(j, w)| (j, w / total))
+                .collect();
+            b.add_action(s, reward, transitions);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn policy_iteration_agrees_with_value_iteration_on_random_chains() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4D4450); // "MDP"
+    for trial in 0..10 {
+        let n = 3 + trial % 4;
+        let mdp = random_mdp(n, &mut rng);
+        for &beta in &[0.7, 0.9, 0.95] {
+            let pi = policy_iteration(&mdp, beta);
+            let vi = value_iteration(
+                &mdp,
+                &ValueIterationOptions {
+                    discount: beta,
+                    tolerance: 1e-12,
+                    max_iterations: 500_000,
+                },
+            );
+            for s in 0..n {
+                assert!(
+                    (pi.values[s] - vi.values[s]).abs() < 1e-6,
+                    "trial {trial} beta {beta} state {s}: PI {} vs VI {}",
+                    pi.values[s],
+                    vi.values[s]
+                );
+            }
+            // Both greedy policies must be optimal: evaluating either
+            // exactly reproduces the optimal value function.
+            let v_pi = mdp.evaluate_policy_discounted(&pi.policy, beta);
+            let v_vi = mdp.evaluate_policy_discounted(&vi.policy, beta);
+            for s in 0..n {
+                assert!((v_pi[s] - v_vi[s]).abs() < 1e-6);
+                assert!((v_pi[s] - pi.values[s]).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+#[test]
+fn value_iteration_is_an_upper_bound_over_random_fixed_policies() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE11);
+    let mdp = random_mdp(5, &mut rng);
+    let beta = 0.85;
+    let opt = value_iteration(
+        &mdp,
+        &ValueIterationOptions {
+            discount: beta,
+            tolerance: 1e-12,
+            max_iterations: 500_000,
+        },
+    );
+    for _ in 0..20 {
+        let policy: Vec<usize> = (0..5)
+            .map(|s| (rng.gen::<u32>() as usize) % mdp.num_actions(s))
+            .collect();
+        let v = mdp.evaluate_policy_discounted(&policy, beta);
+        for s in 0..5 {
+            assert!(
+                v[s] <= opt.values[s] + 1e-6,
+                "fixed policy beats the optimum at state {s}"
+            );
+        }
+    }
+}
+
+/// Hand-computed oracle: a two-state single-action chain with
+/// `P(0->1) = p`, `P(1->0) = q` has stationary distribution
+/// `(q, p) / (p+q)` and gain `(q r0 + p r1) / (p+q)`.
+fn two_state_gain(p: f64, q: f64, r0: f64, r1: f64) -> f64 {
+    (q * r0 + p * r1) / (p + q)
+}
+
+#[test]
+fn average_reward_matches_hand_computed_two_state_chains() {
+    for &(p, q, r0, r1) in &[
+        (0.5, 1.0, 1.0, 0.0),
+        (0.25, 0.75, 2.0, -1.0),
+        (0.9, 0.1, 0.0, 3.0),
+        (1.0, 1.0, 1.0, 3.0), // deterministic alternation: gain 2
+    ] {
+        let mut b = MdpBuilder::new(2);
+        if p < 1.0 {
+            b.add_action(0, r0, vec![(0, 1.0 - p), (1, p)]);
+        } else {
+            b.add_action(0, r0, vec![(1, 1.0)]);
+        }
+        if q < 1.0 {
+            b.add_action(1, r1, vec![(1, 1.0 - q), (0, q)]);
+        } else {
+            b.add_action(1, r1, vec![(0, 1.0)]);
+        }
+        let mdp = b.build();
+        let expected = two_state_gain(p, q, r0, r1);
+        let sol = relative_value_iteration(&mdp, 1e-11, 500_000);
+        assert!(
+            (sol.gain - expected).abs() < 1e-6,
+            "(p={p}, q={q}): gain {} vs hand-computed {expected}",
+            sol.gain
+        );
+        // The stationary-distribution evaluation agrees too.
+        let fixed = average_reward_of_policy(&mdp, &[0, 0]);
+        assert!((fixed - expected).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn average_reward_solver_picks_the_better_of_two_actions() {
+    // State 0 chooses between two self-describing lifestyles:
+    //   action 0: stay put, earn 1.2 forever          -> gain 1.2
+    //   action 1: cycle 0 -> 1 -> 0 earning 0 then 3  -> gain 1.5
+    let mut b = MdpBuilder::new(2);
+    b.add_action(0, 1.2, vec![(0, 1.0)]);
+    b.add_action(0, 0.0, vec![(1, 1.0)]);
+    b.add_action(1, 3.0, vec![(0, 1.0)]);
+    let mdp = b.build();
+    let sol = relative_value_iteration(&mdp, 1e-11, 500_000);
+    assert_eq!(sol.policy[0], 1);
+    assert!((sol.gain - 1.5).abs() < 1e-6, "gain {}", sol.gain);
+    // And the rejected lifestyle really is worse.
+    assert!((average_reward_of_policy(&mdp, &[0, 0]) - 1.2).abs() < 1e-9);
+}
+
+#[test]
+fn discounted_values_approach_gain_over_one_minus_beta() {
+    // Abelian/Tauberian sanity: (1-β) V_β(s) -> gain as β -> 1 for a
+    // unichain MDP; checks the discounted and average solvers against each
+    // other on a random chain.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xABE1);
+    let mdp = random_mdp(4, &mut rng);
+    let avg = relative_value_iteration(&mdp, 1e-11, 500_000);
+    let vi = value_iteration(
+        &mdp,
+        &ValueIterationOptions {
+            discount: 0.999,
+            tolerance: 1e-12,
+            max_iterations: 2_000_000,
+        },
+    );
+    for s in 0..4 {
+        let scaled = (1.0 - 0.999) * vi.values[s];
+        assert!(
+            (scaled - avg.gain).abs() < 0.01 * avg.gain.abs().max(1.0),
+            "state {s}: (1-b)V = {scaled} vs gain {}",
+            avg.gain
+        );
+    }
+}

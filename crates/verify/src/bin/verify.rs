@@ -1,0 +1,155 @@
+//! Oracle cross-validation harness binary.
+//!
+//! ```text
+//! cargo run --release -p ss-verify --bin verify
+//!     # full-budget corpus: report lines + summary + wall-clock
+//! cargo run --release -p ss-verify --bin verify -- --check
+//!     # fast corpus slice, deterministic output only (no wall-clock);
+//!     # exits nonzero on any FAIL — used by the CI determinism job, which
+//!     # also diffs this output across SS_THREADS values
+//! cargo run --release -p ss-verify --bin verify -- --jobs 4
+//!     # run the corpus on a dedicated 4-thread pool
+//! cargo run --release -p ss-verify --bin verify -- --json out.json
+//!     # also write a JSON summary (timings included; not diff-stable)
+//! cargo run --release -p ss-verify --bin verify -- --list
+//!     # print the corpus without running it
+//! cargo run --release -p ss-verify --bin verify -- --seed 7
+//!     # regenerate and run the corpus from another master seed
+//! ```
+//!
+//! Report lines are bit-identical for any thread count (each replication
+//! owns an `RngStreams` stream keyed by `(scenario, rep)` and results are
+//! collected in corpus order), so determinism is a hard gate here exactly
+//! as in the `sweeps` binary.
+
+use ss_sim::json;
+use ss_verify::corpus::generate_corpus;
+use ss_verify::run::{format_report_line, run_corpus, summarize, ScenarioReport};
+use ss_verify::scenario::Budget;
+use ss_verify::DEFAULT_SEED;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: verify [--check] [--jobs N] [--json PATH] [--seed S] [--list]");
+    std::process::exit(1);
+}
+
+fn write_json(
+    path: &str,
+    seed: u64,
+    reports: &[ScenarioReport],
+    wall_ms: f64,
+) -> std::io::Result<()> {
+    let (passed, total) = summarize(reports);
+    let mut body = String::from("{\n");
+    body.push_str("  \"harness\": \"verify\",\n");
+    body.push_str(&format!("  \"seed\": {seed},\n"));
+    body.push_str(&json::host_env_fields());
+    body.push_str(&format!("  \"passed\": {passed},\n"));
+    body.push_str(&format!("  \"total\": {total},\n"));
+    body.push_str(&format!("  \"wall_ms\": {wall_ms:.3},\n"));
+    body.push_str("  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"id\": {}, \"pair\": \"{}\", \"label\": \"{}\", \"pass\": {}, \
+             \"simulated\": {:.9}, \"exact\": {:.9}, \"abs_error\": {:.3e}, \
+             \"ci_half_width\": {:.3e}, \"allowed\": {:.3e}}}{}\n",
+            r.id,
+            r.pair.key(),
+            json::escape(&r.label),
+            r.verdict.pass,
+            r.verdict.simulated,
+            r.verdict.exact,
+            r.verdict.abs_error,
+            r.verdict.ci_half_width,
+            r.verdict.allowed,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_mode = false;
+    let mut list_mode = false;
+    let mut jobs: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut seed = DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check_mode = true,
+            "--list" => list_mode = true,
+            "--jobs" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a value"));
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => usage_error(&format!("invalid --jobs value {value:?}")),
+                }
+            }
+            "--json" => match it.next() {
+                Some(path) if !path.starts_with("--") => json_path = Some(path.clone()),
+                _ => usage_error("--json needs an output path"),
+            },
+            "--seed" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--seed needs a value"));
+                match value.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    _ => usage_error(&format!("invalid --seed value {value:?}")),
+                }
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    if check_mode && json_path.is_some() {
+        usage_error("--check output must stay deterministic; use --json without --check");
+    }
+
+    let corpus = generate_corpus(seed);
+    if list_mode {
+        for s in &corpus.scenarios {
+            println!("#{:<3} {:<24} {}", s.id, s.spec.pair().key(), s.label);
+        }
+        return;
+    }
+
+    let budget = if check_mode {
+        Budget::check()
+    } else {
+        Budget::full()
+    };
+    let start = std::time::Instant::now();
+    let reports = match jobs {
+        Some(n) => ss_sim::pool::with_threads(n, || run_corpus(&corpus, &budget)),
+        None => run_corpus(&corpus, &budget),
+    };
+    let wall = start.elapsed();
+
+    for r in &reports {
+        println!("{}", format_report_line(r));
+    }
+    let (passed, total) = summarize(&reports);
+    println!("verify: {passed}/{total} oracle checks passed (seed {seed})");
+    if !check_mode {
+        // Wall-clock is informational and varies run to run; keep it out of
+        // the deterministic --check output that CI diffs across SS_THREADS.
+        println!("[corpus finished in {wall:.1?}]");
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = write_json(path, seed, &reports, wall.as_secs_f64() * 1e3) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("[wrote {path}]");
+    }
+    if passed != total {
+        eprintln!("verify FAILED: {} oracle checks diverged", total - passed);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # ss-verify — analytic-oracle cross-validation
+//!
+//! The workspace contains two kinds of machinery for the same quantities:
+//! Monte-Carlo simulators (`ss-queueing::mg1`, `ss-bandits::simulate`) and
+//! exact solvers (Pollaczek–Khinchine and Cobham formulas, conservation
+//! laws, value iteration on joint bandit MDPs, the simplex LP).  This crate
+//! pits them against each other, in the simulation-vs-theory spirit of the
+//! source survey: a generated corpus of diverse scenarios (service
+//! families x load levels x priority structures x class/project counts) is
+//! fanned out over the `ss_sim::pool`, and every scenario yields a
+//! tolerance-checked [`oracle::Verdict`] whose Monte-Carlo slack comes from
+//! confidence intervals over seeded replications.
+//!
+//! Oracle pairs (see [`oracle::OraclePair`]):
+//!
+//! | simulated / computed            | exact oracle                                   |
+//! |---------------------------------|------------------------------------------------|
+//! | FIFO M/G/1 mean wait            | Pollaczek–Khinchine                            |
+//! | nonpreemptive priority cost     | Cobham                                         |
+//! | preemptive priority cost        | classical preemptive-resume formulas           |
+//! | `Σ ρ_j W_j` under priority sim  | conservation-law constant                      |
+//! | Gittins-rule roll-outs          | value iteration on the joint MDP               |
+//! | primal simplex objective        | explicit dual's objective (strong duality)     |
+//! | achievable-region LP optimum    | exact Cobham cost of the cµ order              |
+//!
+//! The `verify` binary mirrors the `experiments`/`sweeps` harness
+//! conventions (`--jobs`, `--json`, `--check`); `--check` runs the corpus
+//! on a fast budget and prints wall-clock-free report lines, so CI can diff
+//! `SS_THREADS=1` against `SS_THREADS=4` byte-for-byte.
+//!
+//! ```
+//! use ss_sim::rng::RngStreams;
+//! use ss_verify::corpus::generate_corpus;
+//! use ss_verify::oracle::OraclePair;
+//! use ss_verify::run::run_scenario;
+//! use ss_verify::scenario::Budget;
+//!
+//! let corpus = generate_corpus(ss_verify::DEFAULT_SEED);
+//! let lp = corpus.scenarios.iter().find(|s| s.spec.pair() == OraclePair::LpPrimalVsDual).unwrap();
+//! let report = run_scenario(lp, &Budget::check(), &RngStreams::new(corpus.seed));
+//! assert!(report.verdict.pass);
+//! ```
+
+pub mod corpus;
+pub mod oracle;
+pub mod run;
+pub mod scenario;
+
+pub use corpus::{generate_corpus, Corpus};
+pub use oracle::{OraclePair, Tolerance, Verdict};
+pub use run::{format_report_line, run_corpus, run_scenario, summarize, ScenarioReport};
+pub use scenario::{Budget, QueueMode, Scenario, Spec};
+
+/// Master seed of the committed corpus (CI and the tier-1 test run it).
+pub const DEFAULT_SEED: u64 = 0xC0DE_5EED;

@@ -1,0 +1,178 @@
+//! Oracle pairs, the tolerance policy, and tolerance-checked verdicts.
+//!
+//! An *oracle pair* names one (simulator estimate, exact solver) comparison.
+//! The tolerance policy is uniform across pairs: a comparison passes when
+//!
+//! ```text
+//! |simulated - exact|  <=  abs + rel * |exact| + ci_half_width
+//! ```
+//!
+//! where `ci_half_width` is the confidence-interval half-width of the
+//! Monte-Carlo estimate over its replications (zero for deterministic
+//! oracle pairs such as LP duality).  The additive CI term makes the gate
+//! self-scaling: a scenario that simulates with more noise is allowed
+//! proportionally more slack, while exact-vs-exact pairs are held to
+//! numerical precision.
+
+use std::fmt;
+
+/// Which simulator output is compared against which analytic oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OraclePair {
+    /// Simulated FIFO M/G/1 mean wait vs the Pollaczek–Khinchine formula.
+    FifoVsPollaczekKhinchine,
+    /// Simulated nonpreemptive priority holding-cost rate vs Cobham.
+    NonpreemptiveVsCobham,
+    /// Simulated preemptive-resume priority holding-cost rate vs the
+    /// classical preemptive formulas.
+    PreemptiveVsFormula,
+    /// Simulated `Σ_j ρ_j W_j` under a work-conserving discipline vs the
+    /// conservation-law constant `ρ W0 / (1 - ρ)`.
+    ConservationIdentity,
+    /// Monte-Carlo Gittins-rule roll-outs vs exact value iteration on the
+    /// joint bandit MDP.
+    GittinsRolloutVsDp,
+    /// Primal simplex objective vs the hand-constructed dual's objective
+    /// (strong duality: the gap must vanish).
+    LpPrimalVsDual,
+    /// Achievable-region polymatroid LP optimum vs the exact Cobham cost of
+    /// the cµ priority order (the LP account of cµ optimality).
+    AchievableLpVsCmu,
+}
+
+impl OraclePair {
+    /// All pairs, in report order.
+    pub const ALL: [OraclePair; 7] = [
+        OraclePair::FifoVsPollaczekKhinchine,
+        OraclePair::NonpreemptiveVsCobham,
+        OraclePair::PreemptiveVsFormula,
+        OraclePair::ConservationIdentity,
+        OraclePair::GittinsRolloutVsDp,
+        OraclePair::LpPrimalVsDual,
+        OraclePair::AchievableLpVsCmu,
+    ];
+
+    /// Stable machine-readable key (used in report lines and JSON).
+    pub fn key(self) -> &'static str {
+        match self {
+            OraclePair::FifoVsPollaczekKhinchine => "fifo-vs-pk",
+            OraclePair::NonpreemptiveVsCobham => "nonpreemptive-vs-cobham",
+            OraclePair::PreemptiveVsFormula => "preemptive-vs-formula",
+            OraclePair::ConservationIdentity => "conservation-identity",
+            OraclePair::GittinsRolloutVsDp => "gittins-vs-dp",
+            OraclePair::LpPrimalVsDual => "lp-primal-vs-dual",
+            OraclePair::AchievableLpVsCmu => "achievable-lp-vs-cmu",
+        }
+    }
+}
+
+impl fmt::Display for OraclePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Tolerance of one oracle comparison (see the module docs for the rule).
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative slack as a fraction of `|exact|`.
+    pub rel: f64,
+    /// Absolute slack floor.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Exact-vs-exact comparisons: numerical precision only.
+    pub fn exact() -> Self {
+        Self {
+            rel: 1e-8,
+            abs: 1e-6,
+        }
+    }
+
+    /// Monte-Carlo comparisons: `rel` relative slack on top of the CI term.
+    pub fn monte_carlo(rel: f64) -> Self {
+        Self { rel, abs: 1e-9 }
+    }
+
+    /// Total allowed absolute deviation for a given exact value and CI.
+    pub fn allowed(&self, exact: f64, ci_half_width: f64) -> f64 {
+        self.abs + self.rel * exact.abs() + ci_half_width
+    }
+}
+
+/// Outcome of one scenario's oracle comparison.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Did the comparison pass the tolerance gate?
+    pub pass: bool,
+    /// The simulated (or primal) value.
+    pub simulated: f64,
+    /// The exact oracle value.
+    pub exact: f64,
+    /// `|simulated - exact|`.
+    pub abs_error: f64,
+    /// Confidence-interval half-width of the simulated value (0 when the
+    /// comparison is exact-vs-exact).
+    pub ci_half_width: f64,
+    /// The total allowed deviation the error was checked against.
+    pub allowed: f64,
+}
+
+/// Apply the tolerance policy to one (simulated, exact) pair.
+pub fn check(simulated: f64, exact: f64, ci_half_width: f64, tol: Tolerance) -> Verdict {
+    assert!(
+        simulated.is_finite() && exact.is_finite() && ci_half_width.is_finite(),
+        "oracle comparison received a non-finite value: sim={simulated} exact={exact} ci={ci_half_width}"
+    );
+    let abs_error = (simulated - exact).abs();
+    let allowed = tol.allowed(exact, ci_half_width);
+    Verdict {
+        pass: abs_error <= allowed,
+        simulated,
+        exact,
+        abs_error,
+        ci_half_width,
+        allowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique() {
+        let keys: Vec<&str> = OraclePair::ALL.iter().map(|p| p.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn tolerance_gate_accepts_within_ci() {
+        let v = check(1.05, 1.0, 0.1, Tolerance::monte_carlo(0.01));
+        assert!(v.pass);
+        assert!((v.abs_error - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_gate_rejects_outside_allowance() {
+        let v = check(1.5, 1.0, 0.05, Tolerance::monte_carlo(0.02));
+        assert!(!v.pass);
+        assert!(v.allowed < 0.5);
+    }
+
+    #[test]
+    fn exact_tolerance_is_tight() {
+        assert!(check(1.0 + 1e-9, 1.0, 0.0, Tolerance::exact()).pass);
+        assert!(!check(1.0 + 1e-3, 1.0, 0.0, Tolerance::exact()).pass);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_values_are_rejected() {
+        let _ = check(f64::NAN, 1.0, 0.0, Tolerance::exact());
+    }
+}

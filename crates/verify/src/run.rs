@@ -1,0 +1,301 @@
+//! Scenario execution: one verdict per scenario, fanned out over the pool.
+//!
+//! ## Stream-id allocation
+//!
+//! Replication `rep` of scenario `id` draws from
+//! `RngStreams::substream(id, rep)` — disjoint across scenarios, across
+//! replications, and from the corpus-generation family
+//! ([`crate::corpus::GENERATION_STREAM`]).  Because every replication owns
+//! its stream and [`ss_sim::pool::parallel_indexed`] collects results in
+//! index order, a corpus run is bit-for-bit identical for any thread count.
+
+use crate::corpus::Corpus;
+use crate::oracle::{check, OraclePair, Tolerance, Verdict};
+use crate::scenario::{pair_for_mode, Budget, QueueMode, Scenario, Spec};
+use ss_bandits::exact::MultiArmedBandit;
+use ss_bandits::simulate::{rollout_discounted, GittinsRule};
+use ss_core::job::JobClass;
+use ss_lp::LinearProgram;
+use ss_queueing::achievable_region::region_lp;
+use ss_queueing::cmu::cmu_order;
+use ss_queueing::cobham::{
+    mg1_nonpreemptive_priority, mg1_preemptive_priority, pollaczek_khinchine_wait,
+};
+use ss_queueing::conservation::conserved_work;
+use ss_queueing::mg1::{simulate_mg1, Discipline, Mg1Config, Mg1Result};
+use ss_sim::pool;
+use ss_sim::rng::RngStreams;
+use ss_sim::stats::OnlineStats;
+
+/// Result of running one scenario against its oracle.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Corpus index of the scenario.
+    pub id: usize,
+    /// The scenario's label (copied so reports are self-contained).
+    pub label: String,
+    /// The oracle pair exercised.
+    pub pair: OraclePair,
+    /// The tolerance-checked comparison outcome.
+    pub verdict: Verdict,
+}
+
+/// Per-pair relative tolerances of the Monte-Carlo oracle pairs (the CI
+/// half-width is added on top; exact pairs use [`Tolerance::exact`]).
+fn tolerance_for(pair: OraclePair) -> Tolerance {
+    match pair {
+        OraclePair::FifoVsPollaczekKhinchine => Tolerance::monte_carlo(0.10),
+        OraclePair::NonpreemptiveVsCobham => Tolerance::monte_carlo(0.10),
+        OraclePair::PreemptiveVsFormula => Tolerance::monte_carlo(0.10),
+        OraclePair::ConservationIdentity => Tolerance::monte_carlo(0.08),
+        OraclePair::GittinsRolloutVsDp => Tolerance::monte_carlo(0.05),
+        OraclePair::LpPrimalVsDual | OraclePair::AchievableLpVsCmu => Tolerance::exact(),
+    }
+}
+
+/// Completion-weighted mean wait across classes (the FIFO scalar: under
+/// FIFO every class sees the same Pollaczek–Khinchine wait).
+fn pooled_wait(res: &Mg1Result) -> f64 {
+    let total: u64 = res.completed.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    res.mean_wait
+        .iter()
+        .zip(&res.completed)
+        .map(|(w, &n)| w * n as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+fn run_queue(
+    scenario_id: usize,
+    classes: &[JobClass],
+    order: &[usize],
+    mode: QueueMode,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let discipline = match mode {
+        QueueMode::Fifo => Discipline::Fifo,
+        QueueMode::Preemptive => Discipline::PreemptivePriority(order.to_vec()),
+        QueueMode::Nonpreemptive | QueueMode::Conservation => {
+            Discipline::NonpreemptivePriority(order.to_vec())
+        }
+    };
+    let config = Mg1Config {
+        classes: classes.to_vec(),
+        discipline,
+        horizon: budget.horizon,
+        warmup: budget.warmup,
+    };
+    let values: Vec<f64> = (0..budget.queue_replications)
+        .map(|rep| {
+            let mut rng = streams.substream(scenario_id as u64, rep as u64);
+            let res = simulate_mg1(&config, &mut rng);
+            match mode {
+                QueueMode::Fifo => pooled_wait(&res),
+                QueueMode::Nonpreemptive | QueueMode::Preemptive => res.holding_cost_rate,
+                QueueMode::Conservation => classes
+                    .iter()
+                    .enumerate()
+                    .map(|(j, c)| c.load() * res.mean_wait[j])
+                    .sum(),
+            }
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    let exact = match mode {
+        QueueMode::Fifo => pollaczek_khinchine_wait(classes),
+        QueueMode::Nonpreemptive => mg1_nonpreemptive_priority(classes, order).holding_cost_rate,
+        QueueMode::Preemptive => mg1_preemptive_priority(classes, order).holding_cost_rate,
+        QueueMode::Conservation => conserved_work(classes),
+    };
+    let pair = pair_for_mode(mode);
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(pair),
+    )
+}
+
+fn run_bandit(
+    scenario_id: usize,
+    projects: &[ss_bandits::project::BanditProject],
+    discount: f64,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let mab = MultiArmedBandit::new(projects.to_vec(), discount);
+    let init = vec![0usize; mab.projects.len()];
+    // The DP side of the pair: value iteration on the joint MDP.  The
+    // Gittins policy value must coincide with it (index-rule optimality);
+    // a disagreement here is an exact-vs-exact failure that no Monte-Carlo
+    // slack should mask, so it is folded in as a hard error on `exact`.
+    let exact = mab.optimal_value(&init);
+    let policy_value = mab.gittins_policy_value(&init);
+    // Same threshold the returned verdict would apply, so the gate fires
+    // exactly when the exact-vs-exact check would fail.
+    let exact_tol = Tolerance::exact();
+    if (exact - policy_value).abs() > exact_tol.allowed(exact, 0.0) {
+        return check(policy_value, exact, 0.0, exact_tol);
+    }
+    let policy = GittinsRule::new(&mab);
+    let values: Vec<f64> = (0..budget.bandit_replications)
+        .map(|rep| {
+            let mut rng = streams.substream(scenario_id as u64, rep as u64);
+            rollout_discounted(&mab, &policy, &init, &mut rng)
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(OraclePair::GittinsRolloutVsDp),
+    )
+}
+
+fn run_lp_duality(primal: &LinearProgram, dual: &LinearProgram) -> Verdict {
+    let p = primal
+        .solve()
+        .expect("corpus primal LPs are feasible and bounded by construction");
+    let d = dual
+        .solve()
+        .expect("corpus dual LPs are feasible and bounded by construction");
+    check(
+        p.objective,
+        d.objective,
+        0.0,
+        tolerance_for(OraclePair::LpPrimalVsDual),
+    )
+}
+
+/// The achievable-region oracle pair: the production polymatroid LP
+/// (`ss_queueing::achievable_region::region_lp`, variables `z_j = ρ_j W_j`,
+/// subset bounds from the conservation laws) must attain exactly the
+/// holding-cost rate of the cµ priority order evaluated by Cobham's
+/// formulas — the LP account of cµ optimality, exercised through the same
+/// code path experiment E17 uses.
+fn run_achievable_lp(classes: &[JobClass]) -> Verdict {
+    let lp = region_lp(classes);
+    let order = cmu_order(classes);
+    let exact = mg1_nonpreemptive_priority(classes, &order).holding_cost_rate;
+    check(
+        lp.holding_cost_rate,
+        exact,
+        0.0,
+        tolerance_for(OraclePair::AchievableLpVsCmu),
+    )
+}
+
+/// Run one scenario against its oracle.
+pub fn run_scenario(s: &Scenario, budget: &Budget, streams: &RngStreams) -> ScenarioReport {
+    let verdict = match &s.spec {
+        Spec::Queue {
+            classes,
+            order,
+            mode,
+        } => run_queue(s.id, classes, order, *mode, budget, streams),
+        Spec::Bandit { projects, discount } => {
+            run_bandit(s.id, projects, *discount, budget, streams)
+        }
+        Spec::LpDuality { primal, dual } => run_lp_duality(primal, dual),
+        Spec::AchievableLp { classes } => run_achievable_lp(classes),
+    };
+    ScenarioReport {
+        id: s.id,
+        label: s.label.clone(),
+        pair: s.spec.pair(),
+        verdict,
+    }
+}
+
+/// Run the whole corpus, fanned out over the current pool (scenario `i` is
+/// index `i`; results come back in corpus order regardless of thread count).
+/// Replication streams are derived from the seed the corpus was generated
+/// with, so scenarios and streams can never be mismatched.
+pub fn run_corpus(corpus: &Corpus, budget: &Budget) -> Vec<ScenarioReport> {
+    let streams = RngStreams::new(corpus.seed);
+    pool::parallel_indexed(corpus.scenarios.len(), |i| {
+        run_scenario(&corpus.scenarios[i], budget, &streams)
+    })
+}
+
+/// Deterministic single-line rendering of one report (no wall-clock, so CI
+/// can diff runs across thread counts byte-for-byte).
+pub fn format_report_line(r: &ScenarioReport) -> String {
+    format!(
+        "#{:<3} {} {:<24} {:<52} sim={:.6} exact={:.6} err={:.3e} ci={:.3e} allow={:.3e}",
+        r.id,
+        if r.verdict.pass { "PASS" } else { "FAIL" },
+        r.pair.key(),
+        r.label,
+        r.verdict.simulated,
+        r.verdict.exact,
+        r.verdict.abs_error,
+        r.verdict.ci_half_width,
+        r.verdict.allowed,
+    )
+}
+
+/// Summary counts: `(passed, total)`.
+pub fn summarize(reports: &[ScenarioReport]) -> (usize, usize) {
+    (
+        reports.iter().filter(|r| r.verdict.pass).count(),
+        reports.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate_corpus;
+
+    #[test]
+    fn lp_scenarios_have_zero_duality_gap() {
+        let corpus = generate_corpus(11);
+        let streams = RngStreams::new(corpus.seed);
+        let budget = Budget::check();
+        for s in corpus
+            .scenarios
+            .iter()
+            .filter(|s| s.spec.pair() == OraclePair::LpPrimalVsDual)
+        {
+            let r = run_scenario(s, &budget, &streams);
+            assert!(r.verdict.pass, "{}", format_report_line(&r));
+            assert!(r.verdict.abs_error < 1e-6);
+        }
+    }
+
+    #[test]
+    fn achievable_lp_matches_cmu_cost() {
+        let corpus = generate_corpus(11);
+        let streams = RngStreams::new(corpus.seed);
+        let budget = Budget::check();
+        for s in corpus
+            .scenarios
+            .iter()
+            .filter(|s| s.spec.pair() == OraclePair::AchievableLpVsCmu)
+        {
+            let r = run_scenario(s, &budget, &streams);
+            assert!(r.verdict.pass, "{}", format_report_line(&r));
+        }
+    }
+
+    #[test]
+    fn report_lines_have_no_wall_clock() {
+        let corpus = generate_corpus(5);
+        let streams = RngStreams::new(corpus.seed);
+        let budget = Budget::check();
+        let s = corpus
+            .scenarios
+            .iter()
+            .find(|s| s.spec.pair() == OraclePair::LpPrimalVsDual)
+            .unwrap();
+        let line = format_report_line(&run_scenario(s, &budget, &streams));
+        assert!(line.contains("PASS") || line.contains("FAIL"));
+        assert!(!line.contains("ms") && !line.contains("wall"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Scenario vocabulary: what one cross-validation instance consists of.
+//!
+//! A [`Scenario`] is one parameterized instance of one oracle pair: a
+//! multiclass queue with a service-distribution mix, load level and priority
+//! structure; a small multi-armed bandit; or a linear program together with
+//! its hand-constructed dual.  Scenarios are *data* — generation lives in
+//! [`crate::corpus`], execution in [`crate::run`] — so the corpus can be
+//! listed, sliced and fanned out over the pool without re-deriving anything.
+
+use crate::oracle::OraclePair;
+use ss_bandits::project::BanditProject;
+use ss_core::job::JobClass;
+use ss_lp::LinearProgram;
+
+/// Queueing sub-mode: which discipline is simulated and which formula
+/// serves as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueMode {
+    /// FIFO vs Pollaczek–Khinchine.
+    Fifo,
+    /// Nonpreemptive static priority vs Cobham.
+    Nonpreemptive,
+    /// Preemptive-resume static priority vs the classical formulas.
+    Preemptive,
+    /// Nonpreemptive priority sim, checked against the conservation-law
+    /// constant `Σ_j ρ_j W_j = ρ W0 / (1 - ρ)` instead of per-class waits.
+    Conservation,
+}
+
+/// The oracle pair a queueing sub-mode exercises.
+pub fn pair_for_mode(mode: QueueMode) -> OraclePair {
+    match mode {
+        QueueMode::Fifo => OraclePair::FifoVsPollaczekKhinchine,
+        QueueMode::Nonpreemptive => OraclePair::NonpreemptiveVsCobham,
+        QueueMode::Preemptive => OraclePair::PreemptiveVsFormula,
+        QueueMode::Conservation => OraclePair::ConservationIdentity,
+    }
+}
+
+/// The model underlying one scenario.
+#[derive(Debug, Clone)]
+pub enum Spec {
+    /// A multiclass M/G/1 queue simulated against an exact formula.
+    Queue {
+        /// Job classes (arrival rates, service distributions, holding costs).
+        classes: Vec<JobClass>,
+        /// Static priority order, highest first (ignored by [`QueueMode::Fifo`]).
+        order: Vec<usize>,
+        /// Which discipline/oracle combination to run.
+        mode: QueueMode,
+    },
+    /// A small multi-armed bandit: Gittins-rule roll-outs vs the exact DP.
+    Bandit {
+        /// The projects (arms).
+        projects: Vec<BanditProject>,
+        /// Discount factor in `[0, 1)`.
+        discount: f64,
+    },
+    /// A primal LP and its explicitly constructed dual (strong duality).
+    LpDuality {
+        /// The primal minimisation problem.
+        primal: LinearProgram,
+        /// Its dual maximisation problem.
+        dual: LinearProgram,
+    },
+    /// The achievable-region polymatroid LP of a multiclass M/G/1 queue,
+    /// whose optimum must equal the exact Cobham cost of the cµ order.
+    AchievableLp {
+        /// Job classes defining the polymatroid.
+        classes: Vec<JobClass>,
+    },
+}
+
+impl Spec {
+    /// The oracle pair this spec exercises.  Derived, not stored, so a
+    /// scenario's spec and its reported pair can never disagree.
+    pub fn pair(&self) -> OraclePair {
+        match self {
+            Spec::Queue { mode, .. } => pair_for_mode(*mode),
+            Spec::Bandit { .. } => OraclePair::GittinsRolloutVsDp,
+            Spec::LpDuality { .. } => OraclePair::LpPrimalVsDual,
+            Spec::AchievableLp { .. } => OraclePair::AchievableLpVsCmu,
+        }
+    }
+}
+
+/// One cross-validation instance.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Corpus index; doubles as the scenario's RNG stream id.
+    pub id: usize,
+    /// Deterministic human-readable description (families, load, sizes).
+    pub label: String,
+    /// The model to run (its oracle pair is [`Spec::pair`]).
+    pub spec: Spec,
+}
+
+/// Simulation effort of one corpus run.
+///
+/// `check()` is the fast slice used by the tier-1 integration test and the
+/// CI determinism gate; `full()` is the thorough profile behind the plain
+/// `verify` binary run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Independent replications per queueing scenario.
+    pub queue_replications: usize,
+    /// Simulated horizon per queueing replication.
+    pub horizon: f64,
+    /// Warm-up period excluded from time averages.
+    pub warmup: f64,
+    /// Monte-Carlo roll-outs per bandit scenario.
+    pub bandit_replications: usize,
+    /// Confidence level of the CI term in the tolerance gate (e.g. `0.99`).
+    pub confidence: f64,
+}
+
+impl Budget {
+    /// Fast corpus slice: seconds of total work, used by CI and tier-1 tests.
+    pub fn check() -> Self {
+        Self {
+            queue_replications: 6,
+            horizon: 8_000.0,
+            warmup: 800.0,
+            bandit_replications: 300,
+            confidence: 0.99,
+        }
+    }
+
+    /// Thorough profile for the default `verify` binary run.
+    pub fn full() -> Self {
+        Self {
+            queue_replications: 12,
+            horizon: 24_000.0,
+            warmup: 2_000.0,
+            bandit_replications: 1_000,
+            confidence: 0.99,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_ordered() {
+        let check = Budget::check();
+        let full = Budget::full();
+        assert!(check.queue_replications < full.queue_replications);
+        assert!(check.horizon < full.horizon);
+        assert!(check.bandit_replications < full.bandit_replications);
+        assert!(check.warmup < check.horizon);
+        assert!(full.warmup < full.horizon);
+    }
+}

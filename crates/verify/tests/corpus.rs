@@ -1,0 +1,74 @@
+//! Tier-1 integration test: the fast corpus slice must pass every oracle
+//! check, cover the required diversity, and be bit-identical across thread
+//! counts (the same contract CI enforces via `verify --check`).
+
+use ss_sim::pool;
+use ss_verify::corpus::generate_corpus;
+use ss_verify::run::{format_report_line, run_corpus, summarize};
+use ss_verify::scenario::Budget;
+use ss_verify::{OraclePair, DEFAULT_SEED};
+use std::collections::HashSet;
+
+#[test]
+fn check_corpus_passes_and_is_thread_count_invariant() {
+    let corpus = generate_corpus(DEFAULT_SEED);
+    assert!(
+        corpus.len() >= 30,
+        "corpus has only {} scenarios",
+        corpus.len()
+    );
+    let pairs: HashSet<OraclePair> = corpus.scenarios.iter().map(|s| s.spec.pair()).collect();
+    assert!(
+        pairs.len() >= 5,
+        "corpus covers only {} oracle pairs",
+        pairs.len()
+    );
+
+    let budget = Budget::check();
+    let serial = pool::with_threads(1, || run_corpus(&corpus, &budget));
+    let parallel = pool::with_threads(4, || run_corpus(&corpus, &budget));
+
+    // Every oracle check passes on the fast budget.
+    let (passed, total) = summarize(&serial);
+    let failures: Vec<String> = serial
+        .iter()
+        .filter(|r| !r.verdict.pass)
+        .map(format_report_line)
+        .collect();
+    assert_eq!(
+        passed,
+        total,
+        "failed oracle checks:\n{}",
+        failures.join("\n")
+    );
+
+    // Bit-identical reports for any thread count: compare the raw bits of
+    // every numeric field, not formatted strings, so -0.0 vs 0.0 or a
+    // last-ulp drift cannot hide.
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.verdict.pass, b.verdict.pass);
+        assert_eq!(
+            a.verdict.simulated.to_bits(),
+            b.verdict.simulated.to_bits(),
+            "scenario {} diverged across thread counts",
+            a.label
+        );
+        assert_eq!(a.verdict.exact.to_bits(), b.verdict.exact.to_bits());
+        assert_eq!(
+            a.verdict.ci_half_width.to_bits(),
+            b.verdict.ci_half_width.to_bits()
+        );
+    }
+}
+
+#[test]
+fn every_oracle_pair_appears_in_the_corpus() {
+    let corpus = generate_corpus(DEFAULT_SEED);
+    let pairs: HashSet<OraclePair> = corpus.scenarios.iter().map(|s| s.spec.pair()).collect();
+    for p in OraclePair::ALL {
+        assert!(pairs.contains(&p), "corpus misses oracle pair {p}");
+    }
+}

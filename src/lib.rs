@@ -26,6 +26,10 @@
 //!   the cµ-rule, the achievable-region LP and adaptive-greedy indices,
 //!   Klimov networks, parallel servers, multistation networks, stability,
 //!   fluid models, polling and setup thresholds).
+//! * [`verify`] — analytic-oracle cross-validation: the Monte-Carlo
+//!   simulators checked against the exact solvers (Pollaczek–Khinchine,
+//!   Cobham, conservation laws, joint-MDP value iteration, LP duality)
+//!   over a generated scenario corpus (`verify` binary, `--check` CI gate).
 //!
 //! See `DESIGN.md` for the full system inventory (including the execution
 //! pool's architecture) and `EXPERIMENTS.md` for the measured results of
@@ -59,3 +63,4 @@ pub use ss_lp as lp;
 pub use ss_mdp as mdp;
 pub use ss_queueing as queueing;
 pub use ss_sim as sim;
+pub use ss_verify as verify;

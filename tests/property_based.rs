@@ -8,8 +8,12 @@ use stochastic_scheduling::batch::single_machine::{
 };
 use stochastic_scheduling::core::instance::BatchInstance;
 use stochastic_scheduling::core::job::JobClass;
+use stochastic_scheduling::distributions::ordering::{
+    hazard_rate_order, is_stochastically_ordered_chain, likelihood_ratio_order, stochastic_order,
+    OrderCheck,
+};
 use stochastic_scheduling::distributions::{
-    dyn_dist, Exponential, ServiceDistribution, TwoPoint, Uniform, Weibull,
+    dyn_dist, Erlang, Exponential, ServiceDistribution, TwoPoint, Uniform, Weibull,
 };
 use stochastic_scheduling::lp::{LinearProgram, Relation};
 use stochastic_scheduling::queueing::cmu::cmu_order;
@@ -130,6 +134,83 @@ proptest! {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
         prop_assert!((stats.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
         prop_assert!((stats.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+    }
+
+    /// The classical implication chain between stochastic orders
+    /// (Shaked–Shanthikumar): likelihood-ratio order implies hazard-rate
+    /// order implies the usual stochastic order.  Checked numerically on
+    /// random same-family pairs (exponential, Erlang with common shape,
+    /// Weibull with common shape), which are always lr-comparable.
+    #[test]
+    fn likelihood_ratio_implies_hazard_rate_implies_stochastic(
+        rate_a in 0.4f64..3.0,
+        rate_b in 0.4f64..3.0,
+        family in 0usize..3,
+    ) {
+        let (a, b): (Box<dyn ServiceDistribution>, Box<dyn ServiceDistribution>) = match family {
+            0 => (
+                Box::new(Exponential::new(rate_a)),
+                Box::new(Exponential::new(rate_b)),
+            ),
+            1 => (
+                Box::new(Erlang::new(3, rate_a)),
+                Box::new(Erlang::new(3, rate_b)),
+            ),
+            _ => (
+                Box::new(Weibull::new(1.5, 1.0 / rate_a)),
+                Box::new(Weibull::new(1.5, 1.0 / rate_b)),
+            ),
+        };
+        let horizon = 8.0 * a.mean().max(b.mean());
+        let points = 400;
+        let lr = likelihood_ratio_order(a.as_ref(), b.as_ref(), horizon, points);
+        let hr = hazard_rate_order(a.as_ref(), b.as_ref(), horizon, points);
+        let st = stochastic_order(a.as_ref(), b.as_ref(), horizon, points);
+        // Nearly identical parameters can round to Equal/Incomparable on
+        // the grid; the implication is only claimed for a strict lr order.
+        prop_assume!(lr == OrderCheck::ABeforeB || lr == OrderCheck::BBeforeA);
+        if lr == OrderCheck::ABeforeB {
+            prop_assert!(
+                hr == OrderCheck::ABeforeB || hr == OrderCheck::Equal,
+                "lr says A<B but hr = {hr:?}"
+            );
+            prop_assert!(
+                st == OrderCheck::ABeforeB || st == OrderCheck::Equal,
+                "lr says A<B but st = {st:?}"
+            );
+        } else {
+            prop_assert!(hr == OrderCheck::BBeforeA || hr == OrderCheck::Equal);
+            prop_assert!(st == OrderCheck::BBeforeA || st == OrderCheck::Equal);
+        }
+        // hr => st independently of lr (the middle link of the chain).
+        if hr == OrderCheck::ABeforeB {
+            prop_assert!(st == OrderCheck::ABeforeB || st == OrderCheck::Equal);
+        }
+        // The stochastic order must agree with the means when strict.
+        if st == OrderCheck::ABeforeB {
+            prop_assert!(a.mean() <= b.mean() + 1e-9);
+        }
+    }
+
+    /// Sorting exponentials by decreasing rate yields a stochastically
+    /// ordered chain (the hypothesis of the Weber–Varaiya–Walrand SEPT
+    /// optimality theorem), and a deliberately broken permutation does not.
+    #[test]
+    fn sorted_exponentials_form_a_stochastic_chain(
+        rates_raw in prop::collection::vec(0.3f64..4.0, 3..6),
+    ) {
+        let mut rates = rates_raw.clone();
+        rates.sort_by(|x, y| y.partial_cmp(x).unwrap()); // decreasing rate
+        let dists: Vec<Exponential> = rates.iter().map(|&r| Exponential::new(r)).collect();
+        let refs: Vec<&dyn ServiceDistribution> =
+            dists.iter().map(|d| d as &dyn ServiceDistribution).collect();
+        prop_assert!(is_stochastically_ordered_chain(&refs, 12.0, 200));
+        // Swap the extremes: the chain property must break unless the
+        // rates are (numerically) equal.
+        prop_assume!(rates[0] > rates[rates.len() - 1] + 1e-6);
+        let mut broken = refs.clone();
+        broken.swap(0, rates.len() - 1);
+        prop_assert!(!is_stochastically_ordered_chain(&broken, 12.0, 200));
     }
 
     /// LP solver invariants on random feasible problems: the reported
