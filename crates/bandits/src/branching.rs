@@ -31,6 +31,7 @@
 use crate::branching::offspring::OffspringDist;
 use rand::Rng;
 use ss_core::adaptive_greedy::{adaptive_greedy, AdaptiveGreedyResult, WorkMeasure};
+use ss_core::linalg::solve_dense;
 use ss_distributions::DynDist;
 
 pub mod offspring {
@@ -198,7 +199,7 @@ impl BranchingBandit {
             }
             let mut b = vec![0.0; n];
             b[start] = 1.0;
-            result[start] = solve_linear(at, b);
+            result[start] = solve_dense(at, b);
         }
         result
     }
@@ -251,7 +252,7 @@ impl BranchingWorkMeasure<'_> {
             }
             b[row] = rhs(cls);
         }
-        solve_linear(a, b)
+        solve_dense(a, b)
     }
 }
 
@@ -282,44 +283,6 @@ impl WorkMeasure for BranchingWorkMeasure<'_> {
         });
         e[members.iter().position(|&x| x == class).unwrap()]
     }
-}
-
-/// Dense Gaussian elimination with partial pivoting (local helper; the
-/// systems here are tiny).
-fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
-    let n = b.len();
-    for col in 0..n {
-        let mut piv = col;
-        for r in col + 1..n {
-            if a[r][col].abs() > a[piv][col].abs() {
-                piv = r;
-            }
-        }
-        assert!(
-            a[piv][col].abs() > 1e-12,
-            "singular system (offspring matrix critical?)"
-        );
-        a.swap(col, piv);
-        b.swap(col, piv);
-        for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
-            if f != 0.0 {
-                for c in col..n {
-                    a[r][c] -= f * a[col][c];
-                }
-                b[r] -= f * b[col];
-            }
-        }
-    }
-    let mut x = vec![0.0; n];
-    for r in (0..n).rev() {
-        let mut acc = b[r];
-        for c in r + 1..n {
-            acc -= a[r][c] * x[c];
-        }
-        x[r] = acc / a[r][r];
-    }
-    x
 }
 
 /// Result of one extinction-time simulation run.

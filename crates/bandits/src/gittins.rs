@@ -20,45 +20,8 @@
 //!    bisection over optimal-stopping problems (solved by `ss-mdp`).
 
 use crate::project::BanditProject;
+use ss_core::linalg::solve_dense;
 use ss_mdp::stopping::{optimal_stopping, StoppingProblem};
-
-/// Solve a small dense linear system `A x = b` (Gaussian elimination with
-/// partial pivoting).  Sizes here are at most the number of project states.
-fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
-    let n = b.len();
-    for col in 0..n {
-        let mut piv = col;
-        for r in col + 1..n {
-            if a[r][col].abs() > a[piv][col].abs() {
-                piv = r;
-            }
-        }
-        assert!(
-            a[piv][col].abs() > 1e-12,
-            "singular system in Gittins computation"
-        );
-        a.swap(col, piv);
-        b.swap(col, piv);
-        for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
-            if f != 0.0 {
-                for c in col..n {
-                    a[r][c] -= f * a[col][c];
-                }
-                b[r] -= f * b[col];
-            }
-        }
-    }
-    let mut x = vec![0.0; n];
-    for r in (0..n).rev() {
-        let mut acc = b[r];
-        for c in r + 1..n {
-            acc -= a[r][c] * x[c];
-        }
-        x[r] = acc / a[r][r];
-    }
-    x
-}
 
 /// Gittins indices by the Varaiya–Walrand–Buyukkoc largest-index-first
 /// algorithm.  Returns one index per state.
@@ -95,8 +58,8 @@ pub fn gittins_indices_vwb(project: &BanditProject, discount: f64) -> Vec<f64> {
                 }
                 br[row] = project.reward(s);
             }
-            let n_s = solve_linear(a.clone(), br);
-            let d_s = solve_linear(a, bd);
+            let n_s = solve_dense(a.clone(), br);
+            let d_s = solve_dense(a, bd);
             (n_s, d_s)
         };
 

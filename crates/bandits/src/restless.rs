@@ -49,6 +49,11 @@ pub struct RestlessProject {
 
 impl RestlessProject {
     /// Create a restless project; rows must be probability distributions.
+    ///
+    /// Rows are validated (entries `>= -1e-12`, sums within `1e-8` of 1) and
+    /// then *normalised*: tiny negative entries are clamped to 0 and every
+    /// row is rescaled to sum to 1, so [`Self::sample_next`] never has to
+    /// cope with rows carrying slightly less than unit mass.
     pub fn new(
         active_rewards: Vec<f64>,
         active_transitions: Vec<Vec<(usize, f64)>>,
@@ -60,20 +65,24 @@ impl RestlessProject {
         assert_eq!(passive_rewards.len(), k);
         assert_eq!(active_transitions.len(), k);
         assert_eq!(passive_transitions.len(), k);
-        let check = |rows: &Vec<Vec<(usize, f64)>>| {
-            for (i, row) in rows.iter().enumerate() {
-                let total: f64 = row.iter().map(|(_, p)| p).sum();
-                assert!((total - 1.0).abs() < 1e-8, "row {i} sums to {total}");
-                assert!(row.iter().all(|&(j, p)| j < k && p >= -1e-12));
-            }
+        let normalize = |rows: Vec<Vec<(usize, f64)>>| -> Vec<Vec<(usize, f64)>> {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    assert!(row.iter().all(|&(j, p)| j < k && p >= -1e-12));
+                    let row: Vec<(usize, f64)> =
+                        row.into_iter().map(|(j, p)| (j, p.max(0.0))).collect();
+                    let total: f64 = row.iter().map(|(_, p)| p).sum();
+                    assert!((total - 1.0).abs() < 1e-8, "row {i} sums to {total}");
+                    row.into_iter().map(|(j, p)| (j, p / total)).collect()
+                })
+                .collect()
         };
-        check(&active_transitions);
-        check(&passive_transitions);
         Self {
             active_rewards,
-            active_transitions,
+            active_transitions: normalize(active_transitions),
             passive_rewards,
-            passive_transitions,
+            passive_transitions: normalize(passive_transitions),
         }
     }
 
@@ -103,21 +112,35 @@ impl RestlessProject {
     }
 
     /// Sample the next state given the current state and chosen action.
+    ///
+    /// The uniform draw is rescaled by the row's floating-point mass
+    /// (re-summing a constructor-normalised row can still land one ulp away
+    /// from 1), so the CDF walk always terminates on a positive-probability
+    /// entry — it cannot fall through past the end of the row or land on a
+    /// zero-probability state.
     pub fn sample_next<R: Rng + ?Sized>(&self, i: usize, active: bool, rng: &mut R) -> usize {
         let row = if active {
             &self.active_transitions[i]
         } else {
             &self.passive_transitions[i]
         };
-        let u: f64 = rng.gen();
+        let total: f64 = row.iter().map(|&(_, p)| p).sum();
+        let u: f64 = rng.gen::<f64>() * total;
         let mut acc = 0.0;
         for &(j, p) in row {
             acc += p;
-            if u <= acc {
+            if p > 0.0 && u <= acc {
                 return j;
             }
         }
-        row.last().unwrap().0
+        // Unreachable in exact arithmetic (`u < total` and `acc` reaches
+        // `total` on the last positive entry); kept as a defensive
+        // renormalised fallback that can never pick a zero-mass state.
+        row.iter()
+            .rev()
+            .find(|&&(_, p)| p > 0.0)
+            .expect("transition row must carry positive mass")
+            .0
     }
 
     /// Bounds within which every Whittle index must lie (reward spread).
@@ -147,9 +170,17 @@ impl RestlessProject {
     }
 }
 
-/// Solve the subsidy-`λ` single-project average-reward problem; returns the
-/// optimal action per state (`true` = passive).
-pub fn subsidy_policy(project: &RestlessProject, subsidy: f64) -> Vec<bool> {
+/// Span tolerance and sweep budget of the relative value iterations behind
+/// [`subsidy_policy`].
+const RVI_TOLERANCE: f64 = 1e-10;
+const RVI_MAX_SWEEPS: usize = 200_000;
+
+/// [`subsidy_policy`] plus whether the value iteration actually converged.
+/// At very large `|subsidy|` the bias of a transient state needs on the
+/// order of `|subsidy| / gain-gap` sweeps to propagate, so a timed-out
+/// solve can report a spurious policy — callers that expand the subsidy
+/// bounds must not trust an unconverged solve.
+fn subsidy_policy_checked(project: &RestlessProject, subsidy: f64) -> (Vec<bool>, bool) {
     let k = project.num_states();
     let mut builder = MdpBuilder::new(k);
     for i in 0..k {
@@ -167,28 +198,81 @@ pub fn subsidy_policy(project: &RestlessProject, subsidy: f64) -> Vec<bool> {
         );
     }
     let mdp = builder.build();
-    let sol = relative_value_iteration(&mdp, 1e-10, 200_000);
-    sol.policy.iter().map(|&a| a == 1).collect()
+    let sol = relative_value_iteration(&mdp, RVI_TOLERANCE, RVI_MAX_SWEEPS);
+    let passive = sol.policy.iter().map(|&a| a == 1).collect();
+    (passive, sol.iterations < RVI_MAX_SWEEPS)
+}
+
+/// Solve the subsidy-`λ` single-project average-reward problem; returns the
+/// optimal action per state (`true` = passive).
+pub fn subsidy_policy(project: &RestlessProject, subsidy: f64) -> Vec<bool> {
+    subsidy_policy_checked(project, subsidy).0
+}
+
+/// Outcome of expanding the initial subsidy bounds: the widest interval
+/// whose endpoint subsidy problems were solved to convergence, together
+/// with the optimal passivity pattern observed at each endpoint.
+struct SubsidyBracket {
+    lo: f64,
+    hi: f64,
+    passive_at_lo: Vec<bool>,
+    passive_at_hi: Vec<bool>,
 }
 
 /// Expand the initial subsidy bounds until the subsidy-problem policy is
 /// all-active at the lower end and all-passive at the upper end (the Whittle
-/// indices of every state then lie inside the returned interval).
+/// indices of every state then lie inside the returned interval) — or until
+/// the endpoint solves stop converging or the doubling budget runs out,
+/// whichever comes first.  A state that is still active at the converged
+/// upper endpoint (or still passive at the converged lower endpoint) has no
+/// crossing inside the bracket: [`whittle_indices`] saturates it to a
+/// sentinel instead of bisecting.
+fn subsidy_bracket(project: &RestlessProject) -> SubsidyBracket {
+    let expand = |start: f64, grow: fn(f64) -> f64, done: fn(&[bool]) -> bool| {
+        let mut bound = start;
+        let mut best: Option<(f64, Vec<bool>)> = None;
+        let mut fallback: Option<(f64, Vec<bool>)> = None;
+        for _ in 0..60 {
+            let (policy, converged) = subsidy_policy_checked(project, bound);
+            if fallback.is_none() {
+                // Remembered so an all-unconverged expansion still returns
+                // the initial bound's (best-effort) policy without
+                // re-solving it.
+                fallback = Some((bound, policy.clone()));
+            }
+            if !converged {
+                // Larger magnitudes only get harder for the value
+                // iteration; keep the widest converged endpoint.
+                break;
+            }
+            let finished = done(&policy);
+            best = Some((bound, policy));
+            if finished {
+                break;
+            }
+            bound = grow(bound);
+        }
+        best.or(fallback)
+            .expect("expansion evaluates at least one bound")
+    };
+    let (lo0, hi0) = project.subsidy_bounds();
+    let (hi, passive_at_hi) = expand(hi0, |b| b * 2.0 + 1.0, |p| p.iter().all(|&x| x));
+    let (lo, passive_at_lo) = expand(lo0, |b| b * 2.0 - 1.0, |p| p.iter().all(|&x| !x));
+    SubsidyBracket {
+        lo,
+        hi,
+        passive_at_lo,
+        passive_at_hi,
+    }
+}
+
+/// Expand the initial subsidy bounds until the subsidy-problem policy is
+/// all-active at the lower end and all-passive at the upper end (the Whittle
+/// indices of every state then lie inside the returned interval; see
+/// [`subsidy_bracket`] for the convergence-capped expansion rule).
 fn expanded_subsidy_bounds(project: &RestlessProject) -> (f64, f64) {
-    let (mut lo, mut hi) = project.subsidy_bounds();
-    for _ in 0..60 {
-        if subsidy_policy(project, hi).iter().all(|&p| p) {
-            break;
-        }
-        hi = hi * 2.0 + 1.0;
-    }
-    for _ in 0..60 {
-        if subsidy_policy(project, lo).iter().all(|&p| !p) {
-            break;
-        }
-        lo = lo * 2.0 - 1.0;
-    }
-    (lo, hi)
+    let bracket = subsidy_bracket(project);
+    (bracket.lo, bracket.hi)
 }
 
 /// Check indexability numerically: the passive set must grow monotonically
@@ -217,11 +301,32 @@ pub fn is_indexable(project: &RestlessProject, grid_points: usize) -> bool {
 /// result is the Whittle index; for non-indexable projects it is still a
 /// well-defined heuristic index (the smallest subsidy making passivity
 /// optimal at that state).
+///
+/// **Sentinels.**  A state with no active/passive crossing inside the
+/// expanded subsidy interval has no finite index there, and bisection would
+/// silently converge to the interval endpoint — a meaningless number that
+/// can exceed every real index by orders of magnitude.  Such states are
+/// detected up front and saturated to a documented sentinel instead:
+/// [`f64::INFINITY`] for a state that is still active at the upper bound
+/// (activity is dominant: the state outranks every finite index), and
+/// [`f64::NEG_INFINITY`] for a state that is already passive at the lower
+/// bound (passivity is dominant: the state ranks below every finite index).
+/// Both sentinels order correctly under the [`RestlessPolicy::WhittleIndex`]
+/// priority rule.
 pub fn whittle_indices(project: &RestlessProject) -> Vec<f64> {
     let k = project.num_states();
-    let (lo0, hi0) = expanded_subsidy_bounds(project);
+    let bracket = subsidy_bracket(project);
+    let (lo0, hi0) = (bracket.lo, bracket.hi);
     (0..k)
         .map(|state| {
+            if !bracket.passive_at_hi[state] {
+                // No crossing below hi0: never passive (non-indexable corner).
+                return f64::INFINITY;
+            }
+            if bracket.passive_at_lo[state] {
+                // No crossing above lo0: never active.
+                return f64::NEG_INFINITY;
+            }
             let mut lo = lo0;
             let mut hi = hi0;
             // Invariant target: passive at `state` for subsidy >= index.
@@ -493,6 +598,31 @@ pub fn simulate_restless<R: Rng + ?Sized>(
     total / horizon as f64
 }
 
+/// Stream id of the substream family [`simulate_restless_replications`]
+/// draws from (disjoint from every other family in the workspace — see
+/// DESIGN.md's stream-id table).
+pub const RESTLESS_SIM_STREAM: u64 = 0x5748_4954; // "WHIT"
+
+/// Independent seeded replications of [`simulate_restless`], fanned out over
+/// the workspace pool: replication `rep` draws from
+/// `RngStreams::substream(RESTLESS_SIM_STREAM, rep)`, so the returned
+/// per-replication average rewards are a pure function of the seed and
+/// bit-for-bit identical for any `SS_THREADS`.
+pub fn simulate_restless_replications(
+    projects: &[RestlessProject],
+    m: usize,
+    policy: &RestlessPolicy,
+    horizon: usize,
+    replications: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let streams = ss_sim::RngStreams::new(seed);
+    ss_sim::pool::parallel_indexed(replications, |rep| {
+        let mut rng = streams.substream(RESTLESS_SIM_STREAM, rep as u64);
+        simulate_restless(projects, m, policy, horizon, &mut rng)
+    })
+}
+
 /// One point of the Weber–Weiss asymptotic sweep.
 #[derive(Debug, Clone)]
 pub struct AsymptoticPoint {
@@ -677,6 +807,129 @@ mod tests {
             assert_eq!(a.bound_per_project.to_bits(), b.bound_per_project.to_bits());
             assert_eq!(a.relative_gap.to_bits(), b.relative_gap.to_bits());
         }
+    }
+
+    /// An `RngCore` whose `f64` draws are the largest representable value
+    /// below 1 — the worst case for a CDF walk over a transition row.
+    struct MaxRng;
+    impl rand::RngCore for MaxRng {
+        fn next_u32(&mut self) -> u32 {
+            u32::MAX
+        }
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            dest.fill(0xFF);
+        }
+    }
+
+    #[test]
+    fn sample_next_never_lands_on_zero_mass_states() {
+        // Regression: a row whose probabilities sum to slightly under 1
+        // (within the constructor's 1e-8 tolerance) and whose last entry has
+        // zero mass.  The pre-fix CDF walk fell through on a near-1 uniform
+        // draw and silently returned `row.last()` — the zero-probability
+        // state 1.  Post-fix the constructor renormalises the row and the
+        // walk skips zero-mass entries, so state 0 must always be drawn.
+        let p = RestlessProject::new(
+            vec![0.0, 0.0],
+            vec![vec![(0, 1.0 - 1e-9), (1, 0.0)], vec![(1, 1.0)]],
+            vec![0.0, 0.0],
+            vec![vec![(0, 1.0)], vec![(1, 1.0)]],
+        );
+        let mut rng = MaxRng;
+        for _ in 0..4 {
+            assert_eq!(
+                p.sample_next(0, true, &mut rng),
+                0,
+                "a zero-probability state must never be sampled"
+            );
+        }
+        // And across ordinary seeded draws the zero-mass state never shows.
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        assert!((0..10_000).all(|_| p.sample_next(0, true, &mut rng) == 0));
+    }
+
+    #[test]
+    fn constructor_clamps_tiny_negative_probabilities() {
+        // Entries down to -1e-12 pass validation; they must be clamped to 0
+        // so the sampler can never emit the (negative-mass) state.
+        let p = RestlessProject::new(
+            vec![0.0, 0.0],
+            vec![vec![(0, 1.0 + 1e-13), (1, -1e-13)], vec![(1, 1.0)]],
+            vec![0.0, 0.0],
+            vec![vec![(0, 1.0)], vec![(1, 1.0)]],
+        );
+        assert!(p.active_transitions(0).iter().all(|&(_, q)| q >= 0.0));
+        let total: f64 = p.active_transitions(0).iter().map(|&(_, q)| q).sum();
+        assert!((total - 1.0).abs() < 1e-15, "row renormalised: {total}");
+        let mut rng = MaxRng;
+        assert_eq!(p.sample_next(0, true, &mut rng), 0);
+    }
+
+    /// A project whose state 0 is *never* passive: activity moves to the
+    /// productive state 1 while passivity loops in place, so at every
+    /// subsidy λ the active action at 0 reaches gain `λ + 1` against the
+    /// passive gain `λ` — the no-crossing corner of the bisection.
+    fn dominant_active_project() -> RestlessProject {
+        RestlessProject::new(
+            vec![0.0, 0.5],
+            vec![vec![(1, 1.0)], vec![(1, 1.0)]],
+            vec![0.0, 1.0],
+            vec![vec![(0, 1.0)], vec![(1, 1.0)]],
+        )
+    }
+
+    #[test]
+    fn whittle_index_saturates_when_a_state_never_turns_passive() {
+        // Regression: pre-fix, bisection on the never-passive state 0
+        // converged onto the (hugely expanded) upper subsidy bound and
+        // reported a finite garbage index of order 1e18.  Post-fix the
+        // no-crossing case is detected up front and saturated to the
+        // documented +INFINITY sentinel; the ordinary state 1 keeps a
+        // finite index (its crossing is at λ = r_active - r_passive = -0.5).
+        let p = dominant_active_project();
+        let idx = whittle_indices(&p);
+        assert!(
+            idx[0].is_infinite() && idx[0] > 0.0,
+            "never-passive state must saturate to +inf, got {}",
+            idx[0]
+        );
+        assert!(
+            idx[1].is_finite() && (idx[1] - (-0.5)).abs() < 1e-6,
+            "state 1 index should be ~-0.5, got {}",
+            idx[1]
+        );
+        // The sentinel orders correctly under the Whittle priority rule:
+        // state 0 outranks every finite index.
+        assert!(idx[0] > idx[1]);
+        // The passive set still grows monotonically here ({} -> {1}), so the
+        // project is indexable even though state 0 has no finite index.
+        assert!(is_indexable(&p, 15));
+    }
+
+    #[test]
+    fn restless_replications_are_thread_count_invariant_and_seed_pure() {
+        let p = maint();
+        let projects: Vec<RestlessProject> = (0..6).map(|_| p.clone()).collect();
+        let policy = RestlessPolicy::WhittleIndex(vec![whittle_indices(&p); 6]);
+        let run = |threads: usize, seed: u64| {
+            ss_sim::pool::with_threads(threads, || {
+                simulate_restless_replications(&projects, 2, &policy, 2_000, 8, seed)
+            })
+        };
+        let serial = run(1, 42);
+        let parallel = run(4, 42);
+        assert_eq!(serial.len(), 8);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits(), "thread count changed a draw");
+        }
+        // Seed purity: same seed reproduces, different seeds differ.
+        assert_eq!(run(2, 42), serial);
+        assert_ne!(run(1, 43), serial);
+        // Replications are genuinely independent streams.
+        assert!(serial.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]

@@ -215,6 +215,21 @@ pub fn optimal_makespan(instance: &ExpParallelInstance, machines: usize) -> f64 
     value[full as usize]
 }
 
+/// The [`ss_core::instance::BatchInstance`] with the same exponential jobs
+/// (rates and weights) as this exact instance — the bridge for driving the
+/// [`crate::parallel`] Monte-Carlo list-schedule simulator against the DP
+/// oracles above ([`list_policy_flowtime`], [`list_policy_makespan`]).
+pub fn exp_batch_instance(instance: &ExpParallelInstance) -> ss_core::instance::BatchInstance {
+    let mut builder = ss_core::instance::BatchInstance::builder();
+    for (&rate, &weight) in instance.rates.iter().zip(&instance.weights) {
+        builder = builder.job(
+            weight,
+            ss_distributions::dyn_dist(ss_distributions::Exponential::new(rate)),
+        );
+    }
+    builder.build()
+}
+
 /// SEPT order for an exponential instance (largest rate = shortest mean first).
 pub fn sept_order_exp(instance: &ExpParallelInstance) -> Vec<usize> {
     let mut order: Vec<usize> = (0..instance.len()).collect();

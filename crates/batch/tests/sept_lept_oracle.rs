@@ -1,0 +1,113 @@
+//! SEPT/LEPT simulator-vs-DP oracle suite: the Monte-Carlo list-schedule
+//! simulator (`ss_batch::parallel`) must reproduce the exact subset-DP
+//! values (`ss_batch::exact_exp`) for exponential jobs, with seeded
+//! replications that are bit-identical for any thread count — the same
+//! contract the `ss-verify` pair `sept-lept-vs-dp` gates in CI.
+
+use ss_batch::exact_exp::{
+    exp_batch_instance, lept_order_exp, list_policy_flowtime, list_policy_makespan, sept_order_exp,
+    ExpParallelInstance,
+};
+use ss_batch::parallel::{evaluate_list_policy, ParallelMetric};
+use ss_sim::pool;
+
+fn instance() -> ExpParallelInstance {
+    ExpParallelInstance::unweighted(vec![0.5, 1.0, 2.0, 1.5, 0.8, 2.5])
+}
+
+#[test]
+fn sept_flowtime_simulation_matches_the_exact_dp() {
+    let inst = instance();
+    let batch = exp_batch_instance(&inst);
+    let order = sept_order_exp(&inst);
+    for machines in [1usize, 2, 3] {
+        let exact = list_policy_flowtime(&inst, &order, machines);
+        let summary = evaluate_list_policy(
+            &batch,
+            &order,
+            machines,
+            ParallelMetric::TotalFlowtime,
+            30_000,
+            41,
+        );
+        assert!(
+            (summary.mean - exact).abs() < 3.0 * summary.ci95.max(0.01 * exact),
+            "m={machines}: simulated {} ± {} vs exact {exact}",
+            summary.mean,
+            summary.ci95
+        );
+    }
+}
+
+#[test]
+fn lept_makespan_simulation_matches_the_exact_dp() {
+    let inst = instance();
+    let batch = exp_batch_instance(&inst);
+    let order = lept_order_exp(&inst);
+    for machines in [2usize, 3] {
+        let exact = list_policy_makespan(&inst, &order, machines);
+        let summary = evaluate_list_policy(
+            &batch,
+            &order,
+            machines,
+            ParallelMetric::Makespan,
+            30_000,
+            42,
+        );
+        assert!(
+            (summary.mean - exact).abs() < 3.0 * summary.ci95.max(0.01 * exact),
+            "m={machines}: simulated {} ± {} vs exact {exact}",
+            summary.mean,
+            summary.ci95
+        );
+    }
+}
+
+#[test]
+fn weighted_flowtime_simulation_matches_the_exact_dp() {
+    let inst = ExpParallelInstance::weighted(vec![1.0, 0.5, 2.0, 1.2], vec![1.0, 3.0, 2.0, 0.5]);
+    let batch = exp_batch_instance(&inst);
+    // WSEPT order: decreasing w * lambda.
+    let mut order: Vec<usize> = (0..inst.len()).collect();
+    order.sort_by(|&a, &b| {
+        (inst.weights[b] * inst.rates[b])
+            .partial_cmp(&(inst.weights[a] * inst.rates[a]))
+            .unwrap()
+    });
+    let exact = list_policy_flowtime(&inst, &order, 2);
+    let summary = evaluate_list_policy(
+        &batch,
+        &order,
+        2,
+        ParallelMetric::WeightedFlowtime,
+        30_000,
+        43,
+    );
+    assert!(
+        (summary.mean - exact).abs() < 3.0 * summary.ci95.max(0.01 * exact),
+        "simulated {} ± {} vs exact {exact}",
+        summary.mean,
+        summary.ci95
+    );
+}
+
+#[test]
+fn list_schedule_replications_are_thread_count_invariant_and_seed_pure() {
+    let inst = instance();
+    let batch = exp_batch_instance(&inst);
+    let order = sept_order_exp(&inst);
+    let run = |threads: usize, seed: u64| {
+        pool::with_threads(threads, || {
+            evaluate_list_policy(&batch, &order, 2, ParallelMetric::TotalFlowtime, 500, seed)
+        })
+    };
+    let serial = run(1, 9);
+    let parallel = run(4, 9);
+    assert_eq!(serial.values.len(), parallel.values.len());
+    for (a, b) in serial.values.iter().zip(&parallel.values) {
+        assert_eq!(a.to_bits(), b.to_bits(), "thread count changed a draw");
+    }
+    // Seed purity.
+    assert_eq!(run(2, 9).values, serial.values);
+    assert_ne!(run(1, 10).values, serial.values);
+}

@@ -24,6 +24,7 @@ pub mod adaptive_greedy;
 pub mod index;
 pub mod instance;
 pub mod job;
+pub mod linalg;
 pub mod objective;
 pub mod policy;
 pub mod result;

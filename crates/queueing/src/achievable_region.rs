@@ -29,9 +29,10 @@
 
 use crate::cobham::{mg1_nonpreemptive_priority, total_load};
 use crate::conservation::{conserved_work, subset_lower_bound};
-use crate::klimov::{solve_linear_pub, KlimovNetwork};
+use crate::klimov::KlimovNetwork;
 use ss_core::adaptive_greedy::{adaptive_greedy, AdaptiveGreedyResult, IsolatedJobs, WorkMeasure};
 use ss_core::job::JobClass;
+use ss_core::linalg::solve_dense;
 use ss_lp::{LinearProgram, Relation};
 
 /// The polymatroid vertex induced by a static priority order: the vector
@@ -159,7 +160,7 @@ impl<'a> KlimovWorkMeasure<'a> {
             }
             b[row] = rhs(cls);
         }
-        solve_linear_pub(a, b)
+        solve_dense(a, b)
     }
 }
 

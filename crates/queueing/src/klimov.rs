@@ -22,7 +22,9 @@
 //! the smallest simulated holding-cost rate among all static priority
 //! orders.
 
+use crate::sampling::sample_exp;
 use rand::RngCore;
+use ss_core::linalg::solve_dense;
 use ss_distributions::DynDist;
 use ss_sim::stats::TimeWeighted;
 use std::collections::VecDeque;
@@ -99,7 +101,7 @@ impl KlimovNetwork {
                 a[i][j] = (if i == j { 1.0 } else { 0.0 }) - self.routing[j][i];
             }
         }
-        solve_linear(a, self.arrival_rates.clone())
+        solve_dense(a, self.arrival_rates.clone())
     }
 
     /// Total traffic intensity `ρ = Σ_i γ_i E[S_i]` (must be < 1 for
@@ -111,44 +113,6 @@ impl KlimovNetwork {
             .map(|(g, s)| g * s.mean())
             .sum()
     }
-}
-
-/// Crate-internal dense linear solver shared with the network module.
-pub(crate) fn solve_linear_pub(a: Vec<Vec<f64>>, b: Vec<f64>) -> Vec<f64> {
-    solve_linear(a, b)
-}
-
-fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
-    let n = b.len();
-    for col in 0..n {
-        let mut piv = col;
-        for r in col + 1..n {
-            if a[r][col].abs() > a[piv][col].abs() {
-                piv = r;
-            }
-        }
-        assert!(a[piv][col].abs() > 1e-12, "singular system");
-        a.swap(col, piv);
-        b.swap(col, piv);
-        for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
-            if f != 0.0 {
-                for c in col..n {
-                    a[r][c] -= f * a[col][c];
-                }
-                b[r] -= f * b[col];
-            }
-        }
-    }
-    let mut x = vec![0.0; n];
-    for r in (0..n).rev() {
-        let mut acc = b[r];
-        for c in r + 1..n {
-            acc -= a[r][c] * x[c];
-        }
-        x[r] = acc / a[r][r];
-    }
-    x
 }
 
 /// Klimov's indices (largest-index-first form described in the module
@@ -189,8 +153,8 @@ pub fn klimov_indices(network: &KlimovNetwork) -> Vec<f64> {
                     .map(|j| network.routing[cls][j] * costs[j])
                     .sum();
             }
-            let t = solve_linear(a_mat.clone(), t_rhs);
-            let e = solve_linear(a_mat, e_rhs);
+            let t = solve_dense(a_mat.clone(), t_rhs);
+            let e = solve_dense(a_mat, e_rhs);
             let value = (costs[i] - e[pos(i)]) / t[pos(i)];
             if value > best_value {
                 best_value = value;
@@ -335,12 +299,6 @@ pub fn simulate_klimov(
         holding_cost_rate,
         services_completed,
     }
-}
-
-fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
-    use rand::Rng;
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! [`crate::cobham`] and then uses it for the disciplines the formulas do
 //! not cover.
 
+use crate::sampling::sample_exp;
 use rand::RngCore;
 use ss_core::job::JobClass;
 use ss_sim::stats::TimeWeighted;
@@ -242,12 +243,6 @@ pub fn simulate_mg1(config: &Mg1Config, rng: &mut dyn RngCore) -> Mg1Result {
         holding_cost_rate,
         completed,
     }
-}
-
-fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
-    use rand::Rng;
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
 }
 
 #[cfg(test)]

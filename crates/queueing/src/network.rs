@@ -7,6 +7,7 @@
 //! class (or leaves) after service.  Every station runs a nonpreemptive
 //! static priority discipline over the classes it serves.
 
+use crate::sampling::sample_exp;
 use rand::RngCore;
 use ss_distributions::DynDist;
 use ss_sim::stats::TimeWeighted;
@@ -82,7 +83,7 @@ impl MultiClassNetwork {
             }
         }
         let b: Vec<f64> = self.classes.iter().map(|c| c.arrival_rate).collect();
-        crate::klimov::solve_linear_pub(a, b)
+        ss_core::linalg::solve_dense(a, b)
     }
 
     /// Nominal load per station `ρ_s = Σ_{k at s} γ_k E[S_k]`.
@@ -267,12 +268,6 @@ pub fn simulate_network(
         sample_times,
         final_total: counts.iter().sum(),
     }
-}
-
-fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
-    use rand::Rng;
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
 }
 
 #[cfg(test)]

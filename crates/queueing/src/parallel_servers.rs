@@ -19,6 +19,7 @@
 
 use crate::cmu::cmu_order;
 use crate::cobham::mg1_preemptive_priority;
+use crate::sampling::sample_exp;
 use rand::RngCore;
 use ss_core::job::JobClass;
 use ss_distributions::{dyn_dist, Exponential};
@@ -132,12 +133,6 @@ pub fn simulate_mmm_priority(
         mean_number,
         holding_cost_rate,
     }
-}
-
-fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
-    use rand::Rng;
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
 }
 
 /// The fast-single-server lower bound on the holding-cost rate of *any*

@@ -14,6 +14,7 @@
 //!   that queue empties, then switches (with a setup) to the nonempty class
 //!   with the largest cµ index.
 
+use crate::sampling::sample_exp;
 use rand::RngCore;
 use ss_core::job::JobClass;
 use ss_distributions::DynDist;
@@ -195,12 +196,6 @@ pub fn simulate_polling(
         holding_cost_rate,
         setups,
     }
-}
-
-fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
-    use rand::Rng;
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
 }
 
 #[cfg(test)]

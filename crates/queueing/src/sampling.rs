@@ -1,0 +1,9 @@
+//! Crate-private sampling helpers shared by the event-driven simulators.
+
+use rand::{Rng, RngCore};
+
+/// Sample an `Exp(rate)` inter-event time by inversion.
+pub(crate) fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}

@@ -37,6 +37,7 @@
 //! which is the shape the survey cites the work for.
 
 use crate::cobham::total_load;
+use crate::sampling::sample_exp;
 use rand::RngCore;
 use ss_core::job::JobClass;
 use ss_distributions::DynDist;
@@ -330,12 +331,6 @@ pub fn threshold_sweep(
             }
         })
         .collect()
-}
-
-fn sample_exp(rng: &mut dyn RngCore, rate: f64) -> f64 {
-    use rand::Rng;
-    let u: f64 = rng.gen::<f64>();
-    -(1.0 - u).ln() / rate
 }
 
 #[cfg(test)]

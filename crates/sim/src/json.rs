@@ -40,6 +40,11 @@ pub fn unix_time() -> u64 {
 
 /// The `host_logical_cpus` / `ss_threads_env` preamble fields every
 /// hand-assembled writer records, two-space indented and comma-terminated.
+///
+/// On hosts with fewer than 4 logical CPUs an explicit `scaling_caveat`
+/// field is added, so committed artifacts recorded on small containers
+/// cannot be misread: a `speedup_vs_serial` of ≈1× there measures the
+/// host's parallelism, not the engine's scaling curve.
 pub fn host_env_fields() -> String {
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -48,6 +53,11 @@ pub fn host_env_fields() -> String {
     match std::env::var("SS_THREADS") {
         Ok(v) => out.push_str(&format!("  \"ss_threads_env\": \"{}\",\n", escape(&v))),
         Err(_) => out.push_str("  \"ss_threads_env\": null,\n"),
+    }
+    if host < 4 {
+        out.push_str(&format!(
+            "  \"scaling_caveat\": \"recorded on a {host}-CPU host: speedup_vs_serial \\u2248 1x reflects host parallelism, not the engine's scaling headroom; regenerate on >= 4 cores for the real curve\",\n"
+        ));
     }
     out
 }
@@ -62,6 +72,12 @@ mod tests {
         assert!(fields.contains("\"host_logical_cpus\": "));
         assert!(fields.contains("\"ss_threads_env\": "));
         assert!(fields.ends_with(",\n"));
+        // The scaling caveat appears exactly when the host is too small to
+        // measure a real speedup curve.
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(fields.contains("\"scaling_caveat\""), host < 4);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!     # print the corpus without running it
 //! cargo run --release -p ss-verify --bin verify -- --seed 7
 //!     # regenerate and run the corpus from another master seed
+//! cargo run --release -p ss-verify --bin verify -- --check --pair klimov-vs-exact --pair whittle-vs-dp
+//!     # restrict the run (or --list) to the named oracle pairs; scenario
+//!     # ids and RNG streams are unchanged by filtering, so a filtered
+//!     # report is a strict subset of the full report's lines
 //! ```
 //!
 //! Report lines are bit-identical for any thread count (each replication
@@ -24,13 +28,16 @@
 
 use ss_sim::json;
 use ss_verify::corpus::generate_corpus;
+use ss_verify::oracle::OraclePair;
 use ss_verify::run::{format_report_line, run_corpus, summarize, ScenarioReport};
 use ss_verify::scenario::Budget;
 use ss_verify::DEFAULT_SEED;
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: verify [--check] [--jobs N] [--json PATH] [--seed S] [--list]");
+    eprintln!(
+        "usage: verify [--check] [--jobs N] [--json PATH] [--seed S] [--list] [--pair KEY]..."
+    );
     std::process::exit(1);
 }
 
@@ -77,11 +84,24 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut seed = DEFAULT_SEED;
+    let mut pairs: Vec<OraclePair> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check_mode = true,
             "--list" => list_mode = true,
+            "--pair" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--pair needs an oracle-pair key"));
+                match OraclePair::from_key(value) {
+                    Some(p) => pairs.push(p),
+                    None => usage_error(&format!(
+                        "unknown oracle pair {value:?}; known keys: {}",
+                        OraclePair::ALL.map(|p| p.key()).join(" ")
+                    )),
+                }
+            }
             "--jobs" => {
                 let value = it
                     .next()
@@ -111,11 +131,29 @@ fn main() {
         usage_error("--check output must stay deterministic; use --json without --check");
     }
 
-    let corpus = generate_corpus(seed);
+    let mut corpus = generate_corpus(seed);
+    if !pairs.is_empty() {
+        // Filtering keeps each scenario's corpus id (and therefore its RNG
+        // streams), so filtered report lines match the full run's exactly.
+        corpus.scenarios.retain(|s| pairs.contains(&s.spec.pair()));
+        if corpus.scenarios.is_empty() {
+            usage_error("--pair selection matches no scenarios");
+        }
+    }
     if list_mode {
         for s in &corpus.scenarios {
             println!("#{:<3} {:<24} {}", s.id, s.spec.pair().key(), s.label);
         }
+        let distinct: std::collections::HashSet<&str> = corpus
+            .scenarios
+            .iter()
+            .map(|s| s.spec.pair().key())
+            .collect();
+        println!(
+            "[{} scenarios across {} oracle pairs]",
+            corpus.scenarios.len(),
+            distinct.len()
+        );
         return;
     }
 

@@ -11,17 +11,18 @@
 //! the substream family split.  Diversity axes: service-distribution
 //! family x load level x priority structure x class/project count.
 
-use crate::scenario::{QueueMode, Scenario, Spec};
+use crate::scenario::{BatchMetric, QueueMode, Scenario, Spec};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use ss_bandits::instances::random_project;
+use ss_bandits::instances::{random_project, random_restless_project};
 use ss_core::job::JobClass;
 use ss_distributions::{
     dyn_dist, Deterministic, DynDist, Erlang, Exponential, HyperExponential, LogNormal, TwoPoint,
     Uniform, Weibull,
 };
 use ss_lp::{standard_dual, standard_primal, LinearProgram};
+use ss_queueing::klimov::{klimov_order, KlimovNetwork};
 use ss_sim::rng::RngStreams;
 
 /// Stream id of the corpus-generation substream family (disjoint from the
@@ -84,6 +85,52 @@ fn random_order(rng: &mut ChaCha8Rng, k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..k).collect();
     order.shuffle(rng);
     order
+}
+
+/// A random `k`-class Klimov network with total load exactly `rho`,
+/// cycling service families from `fam_base`.  With `feedback`, every class
+/// routes to one random target with probability 0.15–0.45 (row sums stay
+/// well below 1, so chains terminate fast); arrival rates are rescaled
+/// through the traffic equations so the *effective* load hits `rho`.
+fn klimov_network(
+    rng: &mut ChaCha8Rng,
+    k: usize,
+    rho: f64,
+    fam_base: usize,
+    feedback: bool,
+) -> (KlimovNetwork, String) {
+    let means: Vec<f64> = (0..k).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let shares: Vec<f64> = (0..k).map(|_| rng.gen_range(0.5..1.5)).collect();
+    let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let mut fams = String::new();
+    let services: Vec<DynDist> = (0..k)
+        .map(|j| {
+            let (dist, name) = service_family(fam_base + j, means[j]);
+            if j > 0 {
+                fams.push('+');
+            }
+            fams.push_str(name);
+            dist
+        })
+        .collect();
+    let mut routing = vec![vec![0.0; k]; k];
+    if feedback {
+        for row in routing.iter_mut() {
+            let target = rng.gen_range(0..k);
+            row[target] = rng.gen_range(0.15..0.45);
+        }
+    }
+    // Scale the external rates so the effective load (through the traffic
+    // equations) is exactly rho: the load is linear in the arrival vector.
+    let provisional = KlimovNetwork::new(
+        shares.clone(),
+        services.clone(),
+        costs.clone(),
+        routing.clone(),
+    );
+    let scale = rho / provisional.total_load();
+    let arrivals: Vec<f64> = shares.iter().map(|s| s * scale).collect();
+    (KlimovNetwork::new(arrivals, services, costs, routing), fams)
 }
 
 /// A random feasible-and-bounded primal LP (`min c·x, A x >= b, x >= 0`
@@ -247,6 +294,89 @@ pub fn generate_corpus(seed: u64) -> Corpus {
             &mut scenarios,
             format!("achievable-lp k={k} rho={rho:.2} {fams}"),
             Spec::AchievableLp { classes },
+        );
+    }
+
+    // Klimov networks under the Klimov index order: feedback-free vs
+    // Cobham's cost, feedback vs the exact chain-workload constant.
+    for t in 0..5 {
+        let mut rng = streams.substream(GENERATION_STREAM, scenarios.len() as u64);
+        let k = 2 + t % 3;
+        let rho = [0.45, 0.60, 0.70][t % 3];
+        let feedback = t >= 2;
+        let (network, fams) = klimov_network(&mut rng, k, rho, 5 * t + 1, feedback);
+        let order = klimov_order(&network);
+        push(
+            &mut scenarios,
+            format!(
+                "klimov k={k} rho={rho:.2} {fams} {}",
+                if feedback { "feedback" } else { "no-feedback" }
+            ),
+            Spec::Klimov {
+                network,
+                order,
+                feedback,
+            },
+        );
+    }
+
+    // Whittle-priority restless bandits vs the exact joint-chain policy
+    // value (dense random projects keep every induced chain unichain).
+    for t in 0..4 {
+        let mut rng = streams.substream(GENERATION_STREAM, scenarios.len() as u64);
+        let n_projects = 2 + t % 2;
+        let states = 2 + t % 3;
+        let m = if t == 3 { 2 } else { 1 };
+        let projects: Vec<_> = (0..n_projects)
+            .map(|_| random_restless_project(states, &mut rng))
+            .collect();
+        push(
+            &mut scenarios,
+            format!("restless projects={n_projects} states={states} m={m}"),
+            Spec::Restless { projects, m },
+        );
+    }
+
+    // SEPT/LEPT/WSEPT list schedules on identical machines vs the exact
+    // subset DP for exponential jobs.
+    for t in 0..5 {
+        let mut rng = streams.substream(GENERATION_STREAM, scenarios.len() as u64);
+        let n_jobs = 5 + t % 4;
+        let machines = 2 + t % 2;
+        let rates: Vec<f64> = (0..n_jobs).map(|_| rng.gen_range(0.4..2.5)).collect();
+        let (metric, rule) = [
+            (BatchMetric::Flowtime, "sept"),
+            (BatchMetric::Makespan, "lept"),
+            (BatchMetric::Flowtime, "sept"),
+            (BatchMetric::WeightedFlowtime, "wsept"),
+            (BatchMetric::Makespan, "lept"),
+        ][t];
+        let weights: Vec<f64> = if metric == BatchMetric::WeightedFlowtime {
+            (0..n_jobs).map(|_| rng.gen_range(0.5..3.0)).collect()
+        } else {
+            vec![1.0; n_jobs]
+        };
+        let mut order: Vec<usize> = (0..n_jobs).collect();
+        match rule {
+            // SEPT/WSEPT: decreasing w·λ (unit weights make this SEPT).
+            "sept" | "wsept" => order.sort_by(|&a, &b| {
+                (weights[b] * rates[b])
+                    .partial_cmp(&(weights[a] * rates[a]))
+                    .unwrap()
+            }),
+            // LEPT: increasing rate (longest expected processing first).
+            _ => order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap()),
+        }
+        push(
+            &mut scenarios,
+            format!("list-schedule {rule} n={n_jobs} m={machines}"),
+            Spec::ListSchedule {
+                rates,
+                weights,
+                machines,
+                order,
+                metric,
+            },
         );
     }
 

@@ -22,6 +22,9 @@
 //! | Gittins-rule roll-outs          | value iteration on the joint MDP               |
 //! | primal simplex objective        | explicit dual's objective (strong duality)     |
 //! | achievable-region LP optimum    | exact Cobham cost of the cµ order              |
+//! | Klimov-network sim (index order)| Cobham (no feedback) / chain-workload constant |
+//! | Whittle-priority restless sim   | exact joint-chain policy value + DP/LP gates   |
+//! | SEPT/LEPT/WSEPT list schedules  | exact subset-DP flowtime/makespan recursions   |
 //!
 //! The `verify` binary mirrors the `experiments`/`sweeps` harness
 //! conventions (`--jobs`, `--json`, `--check`); `--check` runs the corpus

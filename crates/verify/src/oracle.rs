@@ -38,11 +38,23 @@ pub enum OraclePair {
     /// Achievable-region polymatroid LP optimum vs the exact Cobham cost of
     /// the cµ priority order (the LP account of cµ optimality).
     AchievableLpVsCmu,
+    /// Klimov-network simulator under the Klimov index order vs an exact
+    /// oracle: Cobham's cost for feedback-free networks, the exact
+    /// chain-workload conservation constant for feedback networks.
+    KlimovVsExact,
+    /// Simulated Whittle-priority restless bandit vs the exact joint-chain
+    /// evaluation of the same policy, with the joint-MDP optimum and the
+    /// Whittle LP relaxation bound enforced as exact-vs-exact sandwich
+    /// gates.
+    WhittleVsDp,
+    /// Simulated SEPT/LEPT/WSEPT list schedules on identical parallel
+    /// machines vs the exact subset-DP flowtime/makespan recursions.
+    SeptLeptVsDp,
 }
 
 impl OraclePair {
     /// All pairs, in report order.
-    pub const ALL: [OraclePair; 7] = [
+    pub const ALL: [OraclePair; 10] = [
         OraclePair::FifoVsPollaczekKhinchine,
         OraclePair::NonpreemptiveVsCobham,
         OraclePair::PreemptiveVsFormula,
@@ -50,6 +62,9 @@ impl OraclePair {
         OraclePair::GittinsRolloutVsDp,
         OraclePair::LpPrimalVsDual,
         OraclePair::AchievableLpVsCmu,
+        OraclePair::KlimovVsExact,
+        OraclePair::WhittleVsDp,
+        OraclePair::SeptLeptVsDp,
     ];
 
     /// Stable machine-readable key (used in report lines and JSON).
@@ -62,7 +77,15 @@ impl OraclePair {
             OraclePair::GittinsRolloutVsDp => "gittins-vs-dp",
             OraclePair::LpPrimalVsDual => "lp-primal-vs-dual",
             OraclePair::AchievableLpVsCmu => "achievable-lp-vs-cmu",
+            OraclePair::KlimovVsExact => "klimov-vs-exact",
+            OraclePair::WhittleVsDp => "whittle-vs-dp",
+            OraclePair::SeptLeptVsDp => "sept-lept-vs-dp",
         }
+    }
+
+    /// Parse a [`Self::key`] back into a pair (for `verify --pair`).
+    pub fn from_key(key: &str) -> Option<OraclePair> {
+        OraclePair::ALL.iter().copied().find(|p| p.key() == key)
     }
 }
 

@@ -11,9 +11,17 @@
 
 use crate::corpus::Corpus;
 use crate::oracle::{check, OraclePair, Tolerance, Verdict};
-use crate::scenario::{pair_for_mode, Budget, QueueMode, Scenario, Spec};
+use crate::scenario::{pair_for_mode, BatchMetric, Budget, QueueMode, Scenario, Spec};
 use ss_bandits::exact::MultiArmedBandit;
+use ss_bandits::restless::{
+    simulate_restless, whittle_indices, whittle_relaxation_bound, RestlessPolicy, RestlessProject,
+};
+use ss_bandits::restless_exact::{restless_optimal_gain, whittle_policy_gain};
 use ss_bandits::simulate::{rollout_discounted, GittinsRule};
+use ss_batch::exact_exp::{
+    exp_batch_instance, list_policy_flowtime, list_policy_makespan, ExpParallelInstance,
+};
+use ss_batch::parallel::simulate_list_schedule;
 use ss_core::job::JobClass;
 use ss_lp::LinearProgram;
 use ss_queueing::achievable_region::region_lp;
@@ -22,6 +30,8 @@ use ss_queueing::cobham::{
     mg1_nonpreemptive_priority, mg1_preemptive_priority, pollaczek_khinchine_wait,
 };
 use ss_queueing::conservation::conserved_work;
+use ss_queueing::klimov::KlimovNetwork;
+use ss_queueing::klimov_sim::{exact_mean_workload, simulate_klimov_policy};
 use ss_queueing::mg1::{simulate_mg1, Discipline, Mg1Config, Mg1Result};
 use ss_sim::pool;
 use ss_sim::rng::RngStreams;
@@ -49,6 +59,9 @@ fn tolerance_for(pair: OraclePair) -> Tolerance {
         OraclePair::PreemptiveVsFormula => Tolerance::monte_carlo(0.10),
         OraclePair::ConservationIdentity => Tolerance::monte_carlo(0.08),
         OraclePair::GittinsRolloutVsDp => Tolerance::monte_carlo(0.05),
+        OraclePair::KlimovVsExact => Tolerance::monte_carlo(0.10),
+        OraclePair::WhittleVsDp => Tolerance::monte_carlo(0.06),
+        OraclePair::SeptLeptVsDp => Tolerance::monte_carlo(0.05),
         OraclePair::LpPrimalVsDual | OraclePair::AchievableLpVsCmu => Tolerance::exact(),
     }
 }
@@ -190,6 +203,138 @@ fn run_achievable_lp(classes: &[JobClass]) -> Verdict {
     )
 }
 
+/// The Klimov pair: simulate the network under its Klimov index order;
+/// feedback-free networks are an ordinary multiclass M/G/1, so the
+/// holding-cost rate is checked two-sided against Cobham; feedback
+/// networks check the (priority-invariant) full-chain workload against the
+/// exact chain-moment conservation constant.
+fn run_klimov(
+    scenario_id: usize,
+    network: &KlimovNetwork,
+    order: &[usize],
+    feedback: bool,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let values: Vec<f64> = (0..budget.queue_replications)
+        .map(|rep| {
+            let mut rng = streams.substream(scenario_id as u64, rep as u64);
+            let res =
+                simulate_klimov_policy(network, order, budget.horizon, budget.warmup, &mut rng);
+            if feedback {
+                res.mean_workload
+            } else {
+                res.holding_cost_rate
+            }
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    let exact = if feedback {
+        exact_mean_workload(network)
+    } else {
+        let classes: Vec<JobClass> = (0..network.num_classes())
+            .map(|i| {
+                JobClass::new(
+                    i,
+                    network.arrival_rates[i],
+                    network.services[i].clone(),
+                    network.holding_costs[i],
+                )
+            })
+            .collect();
+        mg1_nonpreemptive_priority(&classes, order).holding_cost_rate
+    };
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(OraclePair::KlimovVsExact),
+    )
+}
+
+/// The Whittle pair: the exact side is the joint-chain evaluation of the
+/// very policy being simulated; before simulating, the exact sandwich
+/// `policy value <= DP optimum <= relaxation bound` is enforced as a hard
+/// exact-vs-exact gate (no Monte-Carlo slack may mask a violation).
+fn run_restless(
+    scenario_id: usize,
+    projects: &[RestlessProject],
+    m: usize,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let indices: Vec<Vec<f64>> = projects.iter().map(whittle_indices).collect();
+    let exact = whittle_policy_gain(projects, m, &indices);
+    let optimal = restless_optimal_gain(projects, m);
+    let bound = whittle_relaxation_bound(projects, m);
+    // The solvers converge to ~1e-9; the gates allow only solver noise.
+    let gate = Tolerance {
+        rel: 1e-6,
+        abs: 1e-5,
+    };
+    if exact > optimal + gate.allowed(optimal, 0.0) {
+        return check(exact, optimal, 0.0, gate);
+    }
+    if optimal > bound + gate.allowed(bound, 0.0) {
+        return check(optimal, bound, 0.0, gate);
+    }
+    let policy = RestlessPolicy::WhittleIndex(indices);
+    let values: Vec<f64> = (0..budget.restless_replications)
+        .map(|rep| {
+            let mut rng = streams.substream(scenario_id as u64, rep as u64);
+            simulate_restless(projects, m, &policy, budget.restless_horizon, &mut rng)
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(OraclePair::WhittleVsDp),
+    )
+}
+
+/// The SEPT/LEPT pair: Monte-Carlo list-schedule realisations vs the exact
+/// subset-DP value of the same list on the same machines.
+#[allow(clippy::too_many_arguments)]
+fn run_list_schedule(
+    scenario_id: usize,
+    rates: &[f64],
+    weights: &[f64],
+    machines: usize,
+    order: &[usize],
+    metric: BatchMetric,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let instance = ExpParallelInstance::weighted(rates.to_vec(), weights.to_vec());
+    let batch = exp_batch_instance(&instance);
+    let exact = match metric {
+        BatchMetric::Flowtime | BatchMetric::WeightedFlowtime => {
+            list_policy_flowtime(&instance, order, machines)
+        }
+        BatchMetric::Makespan => list_policy_makespan(&instance, order, machines),
+    };
+    let values: Vec<f64> = (0..budget.list_replications)
+        .map(|rep| {
+            let mut rng = streams.substream(scenario_id as u64, rep as u64);
+            let out = simulate_list_schedule(&batch, order, machines, &mut rng);
+            match metric {
+                BatchMetric::Flowtime => out.total_flowtime,
+                BatchMetric::WeightedFlowtime => out.weighted_flowtime,
+                BatchMetric::Makespan => out.makespan,
+            }
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(OraclePair::SeptLeptVsDp),
+    )
+}
+
 /// Run one scenario against its oracle.
 pub fn run_scenario(s: &Scenario, budget: &Budget, streams: &RngStreams) -> ScenarioReport {
     let verdict = match &s.spec {
@@ -203,6 +348,21 @@ pub fn run_scenario(s: &Scenario, budget: &Budget, streams: &RngStreams) -> Scen
         }
         Spec::LpDuality { primal, dual } => run_lp_duality(primal, dual),
         Spec::AchievableLp { classes } => run_achievable_lp(classes),
+        Spec::Klimov {
+            network,
+            order,
+            feedback,
+        } => run_klimov(s.id, network, order, *feedback, budget, streams),
+        Spec::Restless { projects, m } => run_restless(s.id, projects, *m, budget, streams),
+        Spec::ListSchedule {
+            rates,
+            weights,
+            machines,
+            order,
+            metric,
+        } => run_list_schedule(
+            s.id, rates, weights, *machines, order, *metric, budget, streams,
+        ),
     };
     ScenarioReport {
         id: s.id,

@@ -9,8 +9,10 @@
 
 use crate::oracle::OraclePair;
 use ss_bandits::project::BanditProject;
+use ss_bandits::restless::RestlessProject;
 use ss_core::job::JobClass;
 use ss_lp::LinearProgram;
+use ss_queueing::klimov::KlimovNetwork;
 
 /// Queueing sub-mode: which discipline is simulated and which formula
 /// serves as the oracle.
@@ -35,6 +37,18 @@ pub fn pair_for_mode(mode: QueueMode) -> OraclePair {
         QueueMode::Preemptive => OraclePair::PreemptiveVsFormula,
         QueueMode::Conservation => OraclePair::ConservationIdentity,
     }
+}
+
+/// Which statistic a list-schedule scenario compares (the matching exact
+/// DP recursion is chosen in `crate::run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMetric {
+    /// `E[Σ C]` vs `ss_batch::exact_exp::list_policy_flowtime` (unit weights).
+    Flowtime,
+    /// `E[Σ w C]` vs the weighted flowtime recursion.
+    WeightedFlowtime,
+    /// `E[max C]` vs `ss_batch::exact_exp::list_policy_makespan`.
+    Makespan,
 }
 
 /// The model underlying one scenario.
@@ -69,6 +83,42 @@ pub enum Spec {
         /// Job classes defining the polymatroid.
         classes: Vec<JobClass>,
     },
+    /// A Klimov feedback network simulated under a static priority order:
+    /// feedback-free networks check the holding-cost rate against Cobham,
+    /// feedback networks check the full-chain workload against the exact
+    /// conservation constant (`ss_queueing::klimov_sim`).
+    Klimov {
+        /// The network (arrivals, services, costs, Bernoulli routing).
+        network: KlimovNetwork,
+        /// Static priority order (the Klimov index order at generation).
+        order: Vec<usize>,
+        /// Whether the routing matrix has any feedback (chooses the oracle).
+        feedback: bool,
+    },
+    /// A restless bandit run under the Whittle priority rule, checked
+    /// against the exact joint-chain policy value with DP-optimum and
+    /// relaxation-bound sandwich gates.
+    Restless {
+        /// The projects.
+        projects: Vec<RestlessProject>,
+        /// Projects activated per period.
+        m: usize,
+    },
+    /// Exponential jobs list-scheduled on identical parallel machines,
+    /// checked against the exact subset-DP recursions of
+    /// `ss_batch::exact_exp`.
+    ListSchedule {
+        /// Completion rate of each job.
+        rates: Vec<f64>,
+        /// Holding-cost weight of each job (all 1 unless weighted).
+        weights: Vec<f64>,
+        /// Number of identical machines.
+        machines: usize,
+        /// The static list evaluated on both sides of the pair.
+        order: Vec<usize>,
+        /// Which statistic is compared.
+        metric: BatchMetric,
+    },
 }
 
 impl Spec {
@@ -80,6 +130,9 @@ impl Spec {
             Spec::Bandit { .. } => OraclePair::GittinsRolloutVsDp,
             Spec::LpDuality { .. } => OraclePair::LpPrimalVsDual,
             Spec::AchievableLp { .. } => OraclePair::AchievableLpVsCmu,
+            Spec::Klimov { .. } => OraclePair::KlimovVsExact,
+            Spec::Restless { .. } => OraclePair::WhittleVsDp,
+            Spec::ListSchedule { .. } => OraclePair::SeptLeptVsDp,
         }
     }
 }
@@ -110,6 +163,12 @@ pub struct Budget {
     pub warmup: f64,
     /// Monte-Carlo roll-outs per bandit scenario.
     pub bandit_replications: usize,
+    /// Independent replications per restless-bandit scenario.
+    pub restless_replications: usize,
+    /// Periods simulated per restless replication.
+    pub restless_horizon: usize,
+    /// Schedule realisations per list-schedule scenario.
+    pub list_replications: usize,
     /// Confidence level of the CI term in the tolerance gate (e.g. `0.99`).
     pub confidence: f64,
 }
@@ -122,6 +181,9 @@ impl Budget {
             horizon: 8_000.0,
             warmup: 800.0,
             bandit_replications: 300,
+            restless_replications: 4,
+            restless_horizon: 4_000,
+            list_replications: 1_500,
             confidence: 0.99,
         }
     }
@@ -133,6 +195,9 @@ impl Budget {
             horizon: 24_000.0,
             warmup: 2_000.0,
             bandit_replications: 1_000,
+            restless_replications: 8,
+            restless_horizon: 12_000,
+            list_replications: 6_000,
             confidence: 0.99,
         }
     }
@@ -149,6 +214,9 @@ mod tests {
         assert!(check.queue_replications < full.queue_replications);
         assert!(check.horizon < full.horizon);
         assert!(check.bandit_replications < full.bandit_replications);
+        assert!(check.restless_replications < full.restless_replications);
+        assert!(check.restless_horizon < full.restless_horizon);
+        assert!(check.list_replications < full.list_replications);
         assert!(check.warmup < check.horizon);
         assert!(full.warmup < full.horizon);
     }

@@ -13,13 +13,14 @@ use std::collections::HashSet;
 fn check_corpus_passes_and_is_thread_count_invariant() {
     let corpus = generate_corpus(DEFAULT_SEED);
     assert!(
-        corpus.len() >= 30,
+        corpus.len() >= 55,
         "corpus has only {} scenarios",
         corpus.len()
     );
     let pairs: HashSet<OraclePair> = corpus.scenarios.iter().map(|s| s.spec.pair()).collect();
-    assert!(
-        pairs.len() >= 5,
+    assert_eq!(
+        pairs.len(),
+        OraclePair::ALL.len(),
         "corpus covers only {} oracle pairs",
         pairs.len()
     );
@@ -71,4 +72,52 @@ fn every_oracle_pair_appears_in_the_corpus() {
     for p in OraclePair::ALL {
         assert!(pairs.contains(&p), "corpus misses oracle pair {p}");
     }
+}
+
+#[test]
+fn the_simulator_pairs_added_in_pr5_are_each_multi_scenario() {
+    // Klimov, Whittle and SEPT/LEPT each need scenarios on both sides of
+    // their internal diversity axes (feedback/no-feedback, m=1 vs m=2,
+    // flowtime vs makespan), so a single-scenario block would be a
+    // coverage regression.
+    let corpus = generate_corpus(DEFAULT_SEED);
+    for pair in [
+        OraclePair::KlimovVsExact,
+        OraclePair::WhittleVsDp,
+        OraclePair::SeptLeptVsDp,
+    ] {
+        let count = corpus
+            .scenarios
+            .iter()
+            .filter(|s| s.spec.pair() == pair)
+            .count();
+        assert!(count >= 4, "pair {pair} has only {count} scenarios");
+    }
+}
+
+#[test]
+fn klimov_block_covers_feedback_and_feedback_free_networks() {
+    let corpus = generate_corpus(DEFAULT_SEED);
+    let labels: Vec<&str> = corpus
+        .scenarios
+        .iter()
+        .filter(|s| s.spec.pair() == OraclePair::KlimovVsExact)
+        .map(|s| s.label.as_str())
+        .collect();
+    assert!(labels.iter().any(|l| l.ends_with("no-feedback")));
+    assert!(labels.iter().any(|l| l.ends_with(" feedback")));
+}
+
+#[test]
+fn growing_the_corpus_did_not_perturb_the_pre_existing_scenarios() {
+    // Scenario parameters are drawn from the generation substream keyed by
+    // the scenario id, so appending the PR-5 blocks must leave the first
+    // 42 scenarios' labels (families, loads, orders) exactly as they were.
+    let corpus = generate_corpus(DEFAULT_SEED);
+    assert_eq!(corpus.scenarios[0].label, "mg1-fifo k=1 rho=0.30 Exp");
+    assert_eq!(
+        corpus.scenarios[41].label,
+        "achievable-lp k=4 rho=0.75 Erlang2+Erlang4+H2s2+H2s4"
+    );
+    assert_eq!(corpus.scenarios[42].spec.pair(), OraclePair::KlimovVsExact);
 }
