@@ -34,6 +34,7 @@
 //! subsidy problem.
 
 pub mod branching;
+pub mod discipline;
 pub mod exact;
 pub mod gittins;
 pub mod instances;
@@ -45,6 +46,7 @@ pub mod simulate;
 pub mod switching;
 
 pub use branching::BranchingBandit;
+pub use discipline::{discounted_whittle_table, WhittleQueueDiscipline, WHITTLE_DISCOUNT};
 pub use gittins::{gittins_indices_calibration, gittins_indices_restart, gittins_indices_vwb};
 pub use mpi::{marginal_productivity_indices, MpiResult};
 pub use project::BanditProject;

@@ -20,6 +20,7 @@
 //! The experiment harness (`ss-bench`, experiments E1–E6) drives these
 //! modules to regenerate the tables in `EXPERIMENTS.md`.
 
+pub mod discipline;
 pub mod exact_exp;
 pub mod flow_shop;
 pub mod parallel;
@@ -31,5 +32,6 @@ pub mod turnpike;
 pub mod two_point_exact;
 pub mod uniform_machines;
 
+pub use discipline::{gittins_discipline, GittinsGrid};
 pub use policies::{lept_order, random_order, sept_order, wsept_order};
 pub use single_machine::{exhaustive_optimal_order, expected_weighted_flowtime};

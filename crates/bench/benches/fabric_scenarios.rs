@@ -1,0 +1,47 @@
+//! Benchmark of the service-fabric scenario suite (`ss-fabric`): how fast
+//! the fast-budget suite runs at different pool sizes.  The suite is the
+//! same one CI's `fabric --check` gate executes, so this tracks the cost
+//! of the fabric determinism gate; a second group times one full-budget
+//! replication of each scenario to expose per-scenario simulation cost
+//! (the Whittle scenario includes its index tabulation via the prebuilt
+//! disciplines, so tabulation is *not* in the timed path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_fabric::{run_fabric_with, run_suite, scenario_list, Budget, DEFAULT_SEED};
+use ss_sim::pool;
+
+fn bench_fabric_suite(c: &mut Criterion) {
+    let budget = Budget::check();
+    let mut group = c.benchmark_group("fabric_suite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| pool::with_threads(threads, || run_suite(DEFAULT_SEED, &budget)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fabric_scenarios(c: &mut Criterion) {
+    let scenarios = scenario_list(&Budget::full());
+    let mut group = c.benchmark_group("fabric_scenario");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for cfg in &scenarios {
+        let disciplines = cfg.build_disciplines();
+        group.bench_with_input(BenchmarkId::from_parameter(&cfg.name), cfg, |b, cfg| {
+            b.iter(|| run_fabric_with(cfg, &disciplines, 0x5EED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric_suite, bench_fabric_scenarios);
+criterion_main!(benches);

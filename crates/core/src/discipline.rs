@@ -1,0 +1,132 @@
+//! The pluggable queue-discipline contract shared by the service fabric.
+//!
+//! A [`Discipline`] decides, each time a server frees up, **which class to
+//! serve next** from the classes with waiting requests.  The contract is a
+//! priority index over `(class, queue length)` pairs — exactly the shape of
+//! the index policies this workspace studies — so the cµ rule
+//! (`ss-queueing`), the Gittins service index (`ss-batch`) and the Whittle
+//! rule (`ss-bandits`) all plug into the same server loop through thin
+//! adapters, and a constant index degenerates to global FIFO.
+//!
+//! ## Selection contract
+//!
+//! The caller evaluates [`Discipline::class_index`] for every class with a
+//! nonempty queue and serves the head-of-line request of the class with the
+//! **highest** index.  Ties are broken by the earliest head-of-line arrival
+//! (first-scheduled-first-served), which makes the constant-index
+//! [`Fifo`] discipline exactly global FIFO and keeps every discipline
+//! deterministic: the index is a pure function of `(class, waiting)`, so
+//! simulation output is reproducible from the seed alone.
+
+use std::fmt;
+
+/// A pluggable nonpreemptive queue discipline: ranks the job classes
+/// waiting at a server.
+pub trait Discipline: Send + Sync {
+    /// Short stable name for report lines (`"fifo"`, `"cmu"`, ...).
+    fn name(&self) -> &str;
+
+    /// Priority index of serving class `class` next, given that `waiting`
+    /// requests of that class are queued (including the head-of-line one).
+    /// Higher = serve first; ties resolve to the earliest head-of-line
+    /// arrival across the tied classes.
+    ///
+    /// Must be a pure function of its arguments (no interior mutability,
+    /// no randomness): the determinism contract of the simulators that
+    /// call it depends on this.
+    fn class_index(&self, class: usize, waiting: usize) -> f64;
+}
+
+impl fmt::Debug for dyn Discipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Discipline({})", self.name())
+    }
+}
+
+/// Global first-in-first-out: every class gets the same index, so the
+/// tie-break (earliest head-of-line arrival) decides — i.e. pure FIFO
+/// across classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl Discipline for Fifo {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn class_index(&self, _class: usize, _waiting: usize) -> f64 {
+        0.0
+    }
+}
+
+/// A discipline defined by a fixed per-class index table (the static index
+/// policies: cµ, Gittins-at-zero-attained-service, any hand-built
+/// priority).  Adapters in `ss-queueing`/`ss-batch` construct these from
+/// their index computations.
+#[derive(Debug, Clone)]
+pub struct StaticIndex {
+    name: String,
+    indices: Vec<f64>,
+}
+
+impl StaticIndex {
+    /// Build from a per-class index table (higher = higher priority).
+    pub fn new(name: impl Into<String>, indices: Vec<f64>) -> Self {
+        assert!(!indices.is_empty(), "index table must cover >= 1 class");
+        assert!(
+            indices.iter().all(|i| !i.is_nan()),
+            "priority indices must not be NaN"
+        );
+        Self {
+            name: name.into(),
+            indices,
+        }
+    }
+
+    /// The index table, in class order.
+    pub fn indices(&self) -> &[f64] {
+        &self.indices
+    }
+}
+
+impl Discipline for StaticIndex {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class_index(&self, class: usize, _waiting: usize) -> f64 {
+        self.indices[class]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_is_constant() {
+        let f = Fifo;
+        assert_eq!(f.class_index(0, 1), f.class_index(7, 99));
+        assert_eq!(f.name(), "fifo");
+    }
+
+    #[test]
+    fn static_index_ranks_classes() {
+        let d = StaticIndex::new("cmu", vec![1.0, 4.0, 2.5]);
+        assert!(d.class_index(1, 3) > d.class_index(2, 1));
+        assert!(d.class_index(2, 1) > d.class_index(0, 9));
+        assert_eq!(d.indices(), &[1.0, 4.0, 2.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_indices_are_rejected() {
+        let _ = StaticIndex::new("bad", vec![f64::NAN]);
+    }
+
+    #[test]
+    fn trait_objects_debug_print_their_name() {
+        let d: Box<dyn Discipline> = Box::new(Fifo);
+        assert_eq!(format!("{d:?}"), "Discipline(fifo)");
+    }
+}

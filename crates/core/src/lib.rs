@@ -21,6 +21,7 @@
 //!   experiment harness and the examples.
 
 pub mod adaptive_greedy;
+pub mod discipline;
 pub mod index;
 pub mod instance;
 pub mod job;
@@ -30,6 +31,7 @@ pub mod policy;
 pub mod result;
 
 pub use adaptive_greedy::{adaptive_greedy, AdaptiveGreedyResult, WorkMeasure};
+pub use discipline::Discipline;
 pub use index::PriorityIndex;
 pub use instance::{BatchInstance, BatchInstanceBuilder};
 pub use job::{Job, JobClass};

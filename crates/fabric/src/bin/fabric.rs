@@ -1,0 +1,157 @@
+//! Service-fabric scenario-suite binary.
+//!
+//! ```text
+//! cargo run --release -p ss-fabric --bin fabric
+//!     # full-budget suite: report lines + wall-clock
+//! cargo run --release -p ss-fabric --bin fabric -- --check
+//!     # fast budget, deterministic output only (no wall-clock); the CI
+//!     # determinism job diffs this byte-for-byte across SS_THREADS values
+//! cargo run --release -p ss-fabric --bin fabric -- --jobs 4
+//!     # run the suite on a dedicated 4-thread pool
+//! cargo run --release -p ss-fabric --bin fabric -- --json out.json
+//!     # also write a JSON summary (timings included; not diff-stable)
+//! cargo run --release -p ss-fabric --bin fabric -- --list
+//!     # print the scenario suite without running it
+//! cargo run --release -p ss-fabric --bin fabric -- --seed 7
+//!     # run the suite from another master seed
+//! ```
+//!
+//! Report lines are bit-identical for any thread count: each
+//! `(scenario, replication)` cell owns an RNG stream keyed by
+//! `(FABRIC_SIM_STREAM, scenario · 2^16 + rep)` and cells aggregate in
+//! suite order.
+
+use ss_fabric::scenarios::{run_suite, scenario_list, Budget, DEFAULT_SEED};
+use ss_fabric::FabricReport;
+use ss_sim::json;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: fabric [--check] [--jobs N] [--json PATH] [--seed S] [--list]");
+    std::process::exit(1);
+}
+
+fn write_json(
+    path: &str,
+    seed: u64,
+    results: &[(String, FabricReport)],
+    wall_ms: f64,
+) -> std::io::Result<()> {
+    let mut body = String::from("{\n");
+    body.push_str("  \"harness\": \"fabric\",\n");
+    body.push_str(&format!("  \"seed\": {seed},\n"));
+    body.push_str(&json::host_env_fields());
+    body.push_str(&format!("  \"wall_ms\": {wall_ms:.3},\n"));
+    body.push_str("  \"scenarios\": [\n");
+    for (i, (name, r)) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"completed\": {}, \"lost\": {}, \"retries\": {}, \
+             \"rtt_mean\": {:.9}, \"rtt_p50\": {:.9}, \"rtt_p95\": {:.9}, \"rtt_p99\": {:.9}, \
+             \"events\": {}}}{}\n",
+            json::escape(name),
+            r.completed,
+            r.lost,
+            r.retries,
+            r.rtt.mean(),
+            r.rtt.quantile(0.50),
+            r.rtt.quantile(0.95),
+            r.rtt.quantile(0.99),
+            r.events,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_mode = false;
+    let mut list_mode = false;
+    let mut jobs: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut seed = DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check_mode = true,
+            "--list" => list_mode = true,
+            "--jobs" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a value"));
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => usage_error(&format!("invalid --jobs value {value:?}")),
+                }
+            }
+            "--json" => match it.next() {
+                Some(path) if !path.starts_with("--") => json_path = Some(path.clone()),
+                _ => usage_error("--json needs an output path"),
+            },
+            "--seed" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--seed needs a value"));
+                match value.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    _ => usage_error(&format!("invalid --seed value {value:?}")),
+                }
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    if check_mode && json_path.is_some() {
+        usage_error("--check output must stay deterministic; use --json without --check");
+    }
+
+    let budget = if check_mode {
+        Budget::check()
+    } else {
+        Budget::full()
+    };
+    if list_mode {
+        let scenarios = scenario_list(&budget);
+        for (i, s) in scenarios.iter().enumerate() {
+            let disciplines: Vec<&str> = s.tiers.iter().map(|t| t.discipline.key()).collect();
+            println!(
+                "#{i:<3} {:<24} classes={} tiers={} disciplines={}",
+                s.name,
+                s.classes.len(),
+                s.tiers.len(),
+                disciplines.join(",")
+            );
+        }
+        println!("[{} scenarios]", scenarios.len());
+        return;
+    }
+
+    let start = std::time::Instant::now();
+    let results = match jobs {
+        Some(n) => ss_sim::pool::with_threads(n, || run_suite(seed, &budget)),
+        None => run_suite(seed, &budget),
+    };
+    let wall = start.elapsed();
+
+    for (name, report) in &results {
+        for line in report.report_lines(name) {
+            println!("{line}");
+        }
+    }
+    println!(
+        "fabric: {} scenarios simulated (seed {seed})",
+        results.len()
+    );
+    if !check_mode {
+        // Wall-clock is informational and varies run to run; keep it out of
+        // the deterministic --check output that CI diffs across SS_THREADS.
+        println!("[suite finished in {wall:.1?}]");
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = write_json(path, seed, &results, wall.as_secs_f64() * 1e3) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("[wrote {path}]");
+    }
+}

@@ -1,0 +1,316 @@
+//! Scenario configuration for the service fabric.
+//!
+//! A fabric is a chain of **tiers** (think edge proxies → application
+//! servers → storage).  Each tier is a bank of parallel servers, each with
+//! its own bounded multi-class queue; a load balancer assigns requests
+//! arriving at the tier to a server, and a pluggable index
+//! [`Discipline`](ss_core::discipline::Discipline) decides which class a
+//! freed server picks next.  Requests traverse the tiers forward, then the
+//! response is routed back through the same chain hop by hop, so the
+//! recorded round-trip time is a true end-to-end latency.
+
+use std::sync::Arc;
+
+use ss_batch::discipline::{gittins_discipline, GittinsGrid};
+use ss_core::discipline::{Discipline, Fifo};
+use ss_core::job::JobClass;
+use ss_distributions::DynDist;
+use ss_queueing::discipline::cmu_discipline;
+
+/// Queue-length truncation used when tabulating Whittle indices for the
+/// [`DisciplineKind::Whittle`] discipline.
+pub const WHITTLE_TRUNCATION: usize = 40;
+
+/// Open arrival process of one request class.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at constant rate.
+    Poisson { rate: f64 },
+    /// Markov-modulated Poisson process: the class cycles through the
+    /// phases `0 → 1 → ... → 0`, holding each for an `Exp(switch_rate)`
+    /// sojourn and emitting Poisson arrivals at the phase's rate.
+    Mmpp { rates: Vec<f64>, switch_rate: f64 },
+}
+
+impl ArrivalProcess {
+    /// Long-run mean arrival rate.  The cyclic equal-sojourn phase chain
+    /// spends `1/k` of the time in each of its `k` phases, so the MMPP mean
+    /// is the plain average of the phase rates.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            Self::Poisson { rate } => *rate,
+            Self::Mmpp { rates, .. } => rates.iter().sum::<f64>() / rates.len() as f64,
+        }
+    }
+
+    fn validate(&self) {
+        match self {
+            Self::Poisson { rate } => assert!(*rate > 0.0 && rate.is_finite()),
+            Self::Mmpp { rates, switch_rate } => {
+                assert!(rates.len() >= 2, "an MMPP needs >= 2 phases");
+                assert!(rates.iter().all(|r| *r > 0.0 && r.is_finite()));
+                assert!(*switch_rate > 0.0 && switch_rate.is_finite());
+            }
+        }
+    }
+}
+
+/// One request class: its arrival process and the holding-cost rate the
+/// index disciplines weight it by.
+#[derive(Debug, Clone)]
+pub struct ClassConfig {
+    pub arrivals: ArrivalProcess,
+    pub holding_cost: f64,
+}
+
+/// Client retry behaviour after a drop (queue overflow, dead tier, or a
+/// service aborted by a server failure).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries allowed per request beyond the first attempt; 0 disables
+    /// retries entirely.
+    pub max_retries: u32,
+    /// Backoff before attempt `k` (1-based retry count) is
+    /// `base_backoff * multiplier^(k-1) * U(0.5, 1.5)` — exponential
+    /// backoff with multiplicative jitter.
+    pub base_backoff: f64,
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: a dropped request is lost.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+        }
+    }
+}
+
+/// How a tier's load balancer assigns an arriving request to a server.
+#[derive(Debug, Clone)]
+pub enum LbPolicy {
+    /// Cyclic assignment over the up servers.
+    RoundRobin,
+    /// Join the up server with the fewest requests present (queued +
+    /// in service); ties go to the lowest server id.
+    JoinShortestQueue,
+    /// Random assignment over the up servers, proportional to fixed
+    /// weights (one per server).
+    Weighted(Vec<f64>),
+    /// No per-server queues at all: the tier keeps one shared queue and
+    /// any server that frees up pulls the next request per the tier's
+    /// discipline.  With FIFO and exponential service this is *exactly*
+    /// the M/M/c central queue — the configuration the Erlang-C oracle
+    /// pair cross-validates.  `queue_capacity` bounds the shared queue,
+    /// and requests keep queueing through a full-tier outage (they wait
+    /// at the balancer rather than being dropped).
+    CentralQueue,
+}
+
+/// Server failure/recovery cycle: exponential time to failure while up,
+/// exponential repair time while down.  A failing server aborts its
+/// in-service request (the client sees a drop and may retry); its queued
+/// requests survive the outage.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureConfig {
+    pub mean_time_to_failure: f64,
+    pub mean_time_to_repair: f64,
+}
+
+/// Which index discipline orders a tier's per-server queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisciplineKind {
+    /// Global first-in-first-out across classes.
+    Fifo,
+    /// The cµ rule (holding cost × service rate).
+    Cmu,
+    /// Gittins service index at zero attained service.
+    Gittins,
+    /// Whittle indices of the per-class queue-length birth–death projects.
+    Whittle,
+}
+
+impl DisciplineKind {
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::Fifo => "fifo",
+            Self::Cmu => "cmu",
+            Self::Gittins => "gittins",
+            Self::Whittle => "whittle",
+        }
+    }
+}
+
+/// One tier: a bank of `servers` parallel servers behind a load balancer.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    pub servers: usize,
+    /// Queue bound in waiting requests, excluding those in service
+    /// (per server, or tier-wide under [`LbPolicy::CentralQueue`]);
+    /// `None` = unbounded.  An arrival to a full queue is dropped (and
+    /// the client may retry).
+    pub queue_capacity: Option<usize>,
+    /// Service-time distribution per class (indexed by class id).
+    pub service: Vec<DynDist>,
+    pub discipline: DisciplineKind,
+    pub lb: LbPolicy,
+    /// One-way network delay of the hop *leaving* this tier (charged on
+    /// the forward hop to the next tier and again on the return hop).
+    pub hop_delay: f64,
+    pub failure: Option<FailureConfig>,
+}
+
+/// A full fabric scenario.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    pub name: String,
+    pub classes: Vec<ClassConfig>,
+    pub tiers: Vec<TierConfig>,
+    pub retry: RetryPolicy,
+    /// Statistics-collection window is `(warmup, horizon]`.
+    pub warmup: f64,
+    pub horizon: f64,
+}
+
+impl FabricConfig {
+    /// Validate the cross-references (panics on an inconsistent scenario).
+    pub fn validate(&self) {
+        assert!(!self.classes.is_empty(), "need >= 1 class");
+        assert!(!self.tiers.is_empty(), "need >= 1 tier");
+        assert!(
+            self.warmup >= 0.0 && self.horizon > self.warmup,
+            "need 0 <= warmup < horizon"
+        );
+        assert!(self.retry.base_backoff > 0.0 && self.retry.multiplier >= 1.0);
+        for class in &self.classes {
+            class.arrivals.validate();
+            assert!(class.holding_cost > 0.0 && class.holding_cost.is_finite());
+        }
+        for (t, tier) in self.tiers.iter().enumerate() {
+            assert!(tier.servers >= 1, "tier {t} has no servers");
+            assert_eq!(
+                tier.service.len(),
+                self.classes.len(),
+                "tier {t} must give a service distribution per class"
+            );
+            assert!(tier.hop_delay >= 0.0);
+            if let LbPolicy::Weighted(w) = &tier.lb {
+                assert_eq!(w.len(), tier.servers, "tier {t}: one weight per server");
+                assert!(w.iter().all(|x| *x > 0.0 && x.is_finite()));
+            }
+            if let Some(f) = &tier.failure {
+                assert!(f.mean_time_to_failure > 0.0 && f.mean_time_to_repair > 0.0);
+            }
+        }
+    }
+
+    /// The [`JobClass`] view of this fabric's classes at tier `tier`
+    /// (mean arrival rate, the tier's service distribution, holding cost) —
+    /// the shape the index-discipline constructors consume.
+    pub fn job_classes(&self, tier: usize) -> Vec<JobClass> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(j, c)| {
+                JobClass::new(
+                    j,
+                    c.arrivals.mean_rate(),
+                    self.tiers[tier].service[j].clone(),
+                    c.holding_cost,
+                )
+            })
+            .collect()
+    }
+
+    /// Instantiate tier `tier`'s discipline.  Index tabulation (Gittins,
+    /// Whittle) can be expensive — build once per scenario via
+    /// [`FabricConfig::build_disciplines`] and share the result across
+    /// replications.
+    pub fn build_discipline(&self, tier: usize) -> Arc<dyn Discipline> {
+        let classes = self.job_classes(tier);
+        match self.tiers[tier].discipline {
+            DisciplineKind::Fifo => Arc::new(Fifo),
+            DisciplineKind::Cmu => Arc::new(cmu_discipline(&classes)),
+            DisciplineKind::Gittins => {
+                Arc::new(gittins_discipline(&classes, GittinsGrid::default()))
+            }
+            DisciplineKind::Whittle => Arc::new(
+                ss_bandits::discipline::WhittleQueueDiscipline::new(&classes, WHITTLE_TRUNCATION),
+            ),
+        }
+    }
+
+    /// All tier disciplines of this scenario, built once.
+    pub fn build_disciplines(&self) -> Vec<Arc<dyn Discipline>> {
+        (0..self.tiers.len())
+            .map(|t| self.build_discipline(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_distributions::{dyn_dist, Exponential};
+
+    fn tiny() -> FabricConfig {
+        FabricConfig {
+            name: "tiny".into(),
+            classes: vec![ClassConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 0.8 },
+                holding_cost: 1.0,
+            }],
+            tiers: vec![TierConfig {
+                servers: 2,
+                queue_capacity: Some(16),
+                service: vec![dyn_dist(Exponential::with_mean(1.0))],
+                discipline: DisciplineKind::Fifo,
+                lb: LbPolicy::RoundRobin,
+                hop_delay: 0.0,
+                failure: None,
+            }],
+            retry: RetryPolicy::none(),
+            warmup: 10.0,
+            horizon: 100.0,
+        }
+    }
+
+    #[test]
+    fn tiny_config_validates() {
+        tiny().validate();
+    }
+
+    #[test]
+    fn mmpp_mean_rate_averages_phases() {
+        let a = ArrivalProcess::Mmpp {
+            rates: vec![0.2, 1.0],
+            switch_rate: 0.5,
+        };
+        assert!((a.mean_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "service distribution per class")]
+    fn mismatched_service_table_is_rejected() {
+        let mut c = tiny();
+        c.tiers[0].service.clear();
+        c.validate();
+    }
+
+    #[test]
+    fn disciplines_build_for_every_kind() {
+        let mut c = tiny();
+        for kind in [
+            DisciplineKind::Fifo,
+            DisciplineKind::Cmu,
+            DisciplineKind::Gittins,
+            DisciplineKind::Whittle,
+        ] {
+            c.tiers[0].discipline = kind;
+            let d = c.build_discipline(0);
+            assert_eq!(d.name(), kind.key());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-run fabric metrics and their deterministic report rendering.
+
+use ss_sim::stats::QuantileSketch;
+
+/// Counters and waits of one tier, over the post-warmup window.
+#[derive(Debug, Clone)]
+pub struct TierReport {
+    /// Services started after warmup.
+    pub served: u64,
+    /// Mean queueing wait (tier arrival → service start) of those services.
+    pub mean_wait: f64,
+    /// Fraction of post-warmup server-time spent serving
+    /// (busy time / (window × servers)); failed time counts as idle.
+    pub utilization: f64,
+    /// Post-warmup drops at this tier: queue overflows, arrivals while no
+    /// server was up, and services aborted by a failure.
+    pub dropped: u64,
+}
+
+/// End-to-end result of one fabric replication.
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Round trips completed in the post-warmup window.
+    pub completed: u64,
+    /// Requests abandoned after exhausting their retry budget.
+    pub lost: u64,
+    /// Retry attempts scheduled (post-warmup).
+    pub retries: u64,
+    /// Deterministic sketch of completed round-trip times.
+    pub rtt: QuantileSketch,
+    pub tiers: Vec<TierReport>,
+    /// Calendar events processed (all of them, including warmup).
+    pub events: u64,
+}
+
+impl FabricReport {
+    /// Mean round-trip time of completed requests.
+    pub fn rtt_mean(&self) -> f64 {
+        self.rtt.mean()
+    }
+
+    /// Deterministic report lines (one header line plus one per tier),
+    /// stable enough to diff byte-for-byte across thread counts.
+    pub fn report_lines(&self, scenario: &str) -> Vec<String> {
+        let mut lines = vec![format!(
+            "{scenario}  completed={} lost={} retries={} rtt_mean={:.6} p50={:.6} p95={:.6} p99={:.6}",
+            self.completed,
+            self.lost,
+            self.retries,
+            self.rtt.mean(),
+            self.rtt.quantile(0.50),
+            self.rtt.quantile(0.95),
+            self.rtt.quantile(0.99),
+        )];
+        for (t, tier) in self.tiers.iter().enumerate() {
+            lines.push(format!(
+                "{scenario}  tier{t}: served={} wait={:.6} util={:.4} dropped={}",
+                tier.served, tier.mean_wait, tier.utilization, tier.dropped
+            ));
+        }
+        lines
+    }
+}

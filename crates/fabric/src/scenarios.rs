@@ -1,0 +1,347 @@
+//! The named scenario suite of the `fabric` binary.
+//!
+//! Each scenario exercises one axis of the fabric (load-balancer policy,
+//! discipline, MMPP burstiness, failures, bounded queues + retries); the
+//! runner fans `(scenario, replication)` cells over
+//! [`ss_sim::pool::parallel_indexed`], each cell owning a seed derived from
+//! `substream(FABRIC_SIM_STREAM, scenario · 2^16 + rep)`, and aggregates in
+//! scenario order — so the report is bit-for-bit identical for any
+//! `SS_THREADS`.
+
+use ss_distributions::{dyn_dist, Erlang, Exponential, HyperExponential};
+use ss_sim::pool::parallel_indexed;
+use ss_sim::rng::RngStreams;
+
+use crate::config::{
+    ArrivalProcess, ClassConfig, DisciplineKind, FabricConfig, FailureConfig, LbPolicy,
+    RetryPolicy, TierConfig,
+};
+use crate::metrics::{FabricReport, TierReport};
+use crate::sim::{replication_seed, run_fabric_with};
+
+/// Master seed of the committed scenario suite.
+pub const DEFAULT_SEED: u64 = 0xFAB0_5EED;
+
+/// Time/replication budget of a suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    pub warmup: f64,
+    pub horizon: f64,
+    pub replications: u64,
+}
+
+impl Budget {
+    /// Full reporting budget.
+    pub fn full() -> Self {
+        Self {
+            warmup: 500.0,
+            horizon: 4500.0,
+            replications: 6,
+        }
+    }
+
+    /// Fast deterministic budget for the CI `--check` gate.
+    pub fn check() -> Self {
+        Self {
+            warmup: 100.0,
+            horizon: 700.0,
+            replications: 2,
+        }
+    }
+}
+
+fn exp(mean: f64) -> ss_distributions::DynDist {
+    dyn_dist(Exponential::with_mean(mean))
+}
+
+/// The committed scenario list (order is part of the report format).
+pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
+    let b = budget;
+    vec![
+        // 1. Single-tier M/M/3 FIFO central queue at rho = 0.8 — exactly
+        //    the model family the Erlang-C oracle pair cross-validates.
+        FabricConfig {
+            name: "mm3-fifo-baseline".into(),
+            classes: vec![ClassConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 2.4 },
+                holding_cost: 1.0,
+            }],
+            tiers: vec![TierConfig {
+                servers: 3,
+                queue_capacity: None,
+                service: vec![exp(1.0)],
+                discipline: DisciplineKind::Fifo,
+                lb: LbPolicy::CentralQueue,
+                hop_delay: 0.0,
+                failure: None,
+            }],
+            retry: RetryPolicy::none(),
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+        // 2. Two tiers with network hops: end-to-end RTT accounting.
+        FabricConfig {
+            name: "two-tier-rtt".into(),
+            classes: vec![
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 1.1 },
+                    holding_cost: 1.0,
+                },
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.6 },
+                    holding_cost: 3.0,
+                },
+            ],
+            tiers: vec![
+                TierConfig {
+                    servers: 4,
+                    queue_capacity: None,
+                    service: vec![exp(1.0), exp(0.7)],
+                    discipline: DisciplineKind::Cmu,
+                    lb: LbPolicy::JoinShortestQueue,
+                    hop_delay: 0.05,
+                    failure: None,
+                },
+                TierConfig {
+                    servers: 3,
+                    queue_capacity: None,
+                    service: vec![exp(0.8), exp(0.5)],
+                    discipline: DisciplineKind::Fifo,
+                    lb: LbPolicy::RoundRobin,
+                    hop_delay: 0.05,
+                    failure: None,
+                },
+            ],
+            retry: RetryPolicy::none(),
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+        // 3. cµ priority under asymmetric holding costs, round-robin LB.
+        FabricConfig {
+            name: "cmu-priority".into(),
+            classes: vec![
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.9 },
+                    holding_cost: 1.0,
+                },
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.5 },
+                    holding_cost: 5.0,
+                },
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.4 },
+                    holding_cost: 2.0,
+                },
+            ],
+            tiers: vec![TierConfig {
+                servers: 2,
+                queue_capacity: None,
+                service: vec![exp(0.8), exp(0.6), exp(0.9)],
+                discipline: DisciplineKind::Cmu,
+                lb: LbPolicy::RoundRobin,
+                hop_delay: 0.0,
+                failure: None,
+            }],
+            retry: RetryPolicy::none(),
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+        // 4. Gittins discipline with high-variance (hyperexponential) and
+        //    low-variance (Erlang) service side by side.
+        FabricConfig {
+            name: "gittins-mixed-scv".into(),
+            classes: vec![
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.7 },
+                    holding_cost: 1.0,
+                },
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.7 },
+                    holding_cost: 1.0,
+                },
+            ],
+            tiers: vec![TierConfig {
+                servers: 2,
+                queue_capacity: None,
+                service: vec![
+                    dyn_dist(HyperExponential::with_mean_scv(1.0, 4.0)),
+                    dyn_dist(Erlang::with_mean(4, 1.0)),
+                ],
+                discipline: DisciplineKind::Gittins,
+                lb: LbPolicy::JoinShortestQueue,
+                hop_delay: 0.0,
+                failure: None,
+            }],
+            retry: RetryPolicy::none(),
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+        // 5. Bursty MMPP sources under the Whittle queue discipline.
+        FabricConfig {
+            name: "whittle-mmpp-bursty".into(),
+            classes: vec![
+                ClassConfig {
+                    arrivals: ArrivalProcess::Mmpp {
+                        rates: vec![0.2, 1.4],
+                        switch_rate: 0.05,
+                    },
+                    holding_cost: 2.0,
+                },
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 0.6 },
+                    holding_cost: 1.0,
+                },
+            ],
+            tiers: vec![TierConfig {
+                servers: 2,
+                queue_capacity: None,
+                service: vec![exp(0.7), exp(0.9)],
+                discipline: DisciplineKind::Whittle,
+                lb: LbPolicy::JoinShortestQueue,
+                hop_delay: 0.0,
+                failure: None,
+            }],
+            retry: RetryPolicy::none(),
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+        // 6. Failures + recovery with weighted balancing, bounded queues
+        //    and clients that retry with exponential backoff.
+        FabricConfig {
+            name: "failures-retries".into(),
+            classes: vec![ClassConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 1.6 },
+                holding_cost: 1.0,
+            }],
+            tiers: vec![TierConfig {
+                servers: 3,
+                queue_capacity: Some(8),
+                service: vec![exp(1.0)],
+                discipline: DisciplineKind::Fifo,
+                lb: LbPolicy::Weighted(vec![2.0, 1.0, 1.0]),
+                hop_delay: 0.0,
+                failure: Some(FailureConfig {
+                    mean_time_to_failure: 120.0,
+                    mean_time_to_repair: 15.0,
+                }),
+            }],
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_backoff: 0.5,
+                multiplier: 2.0,
+            },
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+        // 7. Tight bounded queues: backpressure drops without failures.
+        FabricConfig {
+            name: "bounded-backpressure".into(),
+            classes: vec![
+                ClassConfig {
+                    arrivals: ArrivalProcess::Poisson { rate: 1.3 },
+                    holding_cost: 1.0,
+                },
+                ClassConfig {
+                    arrivals: ArrivalProcess::Mmpp {
+                        rates: vec![0.3, 1.2],
+                        switch_rate: 0.1,
+                    },
+                    holding_cost: 2.0,
+                },
+            ],
+            tiers: vec![TierConfig {
+                servers: 2,
+                queue_capacity: Some(4),
+                service: vec![exp(0.7), exp(0.8)],
+                discipline: DisciplineKind::Cmu,
+                lb: LbPolicy::JoinShortestQueue,
+                hop_delay: 0.02,
+                failure: None,
+            }],
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: 0.4,
+                multiplier: 2.0,
+            },
+            warmup: b.warmup,
+            horizon: b.horizon,
+        },
+    ]
+}
+
+/// Merge per-replication reports of one scenario into a suite-level report:
+/// counters add, sketches merge, waits combine service-count-weighted, and
+/// utilization averages over the (equal-length) replication windows.
+pub fn aggregate(reports: &[FabricReport]) -> FabricReport {
+    assert!(!reports.is_empty());
+    let mut rtt = reports[0].rtt.clone();
+    for r in &reports[1..] {
+        rtt.merge(&r.rtt);
+    }
+    let tiers = (0..reports[0].tiers.len())
+        .map(|t| {
+            let served: u64 = reports.iter().map(|r| r.tiers[t].served).sum();
+            let wait_sum: f64 = reports
+                .iter()
+                .map(|r| r.tiers[t].mean_wait * r.tiers[t].served as f64)
+                .sum();
+            TierReport {
+                served,
+                mean_wait: if served > 0 {
+                    wait_sum / served as f64
+                } else {
+                    0.0
+                },
+                utilization: reports.iter().map(|r| r.tiers[t].utilization).sum::<f64>()
+                    / reports.len() as f64,
+                dropped: reports.iter().map(|r| r.tiers[t].dropped).sum(),
+            }
+        })
+        .collect();
+    FabricReport {
+        completed: reports.iter().map(|r| r.completed).sum(),
+        lost: reports.iter().map(|r| r.lost).sum(),
+        retries: reports.iter().map(|r| r.retries).sum(),
+        rtt,
+        tiers,
+        events: reports.iter().map(|r| r.events).sum(),
+    }
+}
+
+/// Run the whole suite: every `(scenario, replication)` cell in parallel,
+/// aggregated per scenario in suite order.
+pub fn run_suite(seed: u64, budget: &Budget) -> Vec<(String, FabricReport)> {
+    let scenarios = scenario_list(budget);
+    let streams = RngStreams::new(seed);
+    let reps = budget.replications as usize;
+    // Index tables (Gittins/Whittle) are deterministic per scenario; build
+    // them once here rather than per replication.
+    let disciplines: Vec<_> = scenarios.iter().map(|s| s.build_disciplines()).collect();
+    let cells = parallel_indexed(scenarios.len() * reps, |i| {
+        let (s, rep) = (i / reps, i % reps);
+        run_fabric_with(
+            &scenarios[s],
+            &disciplines[s],
+            replication_seed(&streams, s as u64, rep as u64),
+        )
+    });
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, cfg)| {
+            (
+                cfg.name.clone(),
+                aggregate(&cells[s * reps..(s + 1) * reps]),
+            )
+        })
+        .collect()
+}
+
+/// The deterministic report of a suite run, one line block per scenario —
+/// the text the CI determinism job diffs across `SS_THREADS` values.
+pub fn suite_lines(seed: u64, budget: &Budget) -> Vec<String> {
+    run_suite(seed, budget)
+        .iter()
+        .flat_map(|(name, report)| report.report_lines(name))
+        .collect()
+}

@@ -1,0 +1,626 @@
+//! The fabric simulator: an [`EventHandler`] on the generic `ss-sim`
+//! engine, plus the replication entry point [`run_fabric`].
+//!
+//! ## Determinism
+//!
+//! One replication owns one [`RngStreams`] factory (seeded from the
+//! caller-supplied `seed`), and every stochastic ingredient draws from its
+//! own substream family so the sampled processes are independent and the
+//! schedule of draws is a pure function of the seed:
+//!
+//! | family | keyed by | drives |
+//! |---|---|---|
+//! | `ARRIVAL_FAMILY` | class | interarrival times |
+//! | `PHASE_FAMILY` | class | MMPP phase sojourns |
+//! | `SERVICE_FAMILY` | `tier · 2^16 + server` | service times |
+//! | `LB_FAMILY` | tier | weighted load-balancer draws |
+//! | `FAIL_FAMILY` | `tier · 2^16 + server` | failure/repair cycles |
+//! | `RETRY_FAMILY` | class | backoff jitter |
+//!
+//! Ties on the calendar resolve in schedule order (the `(time, seq)`
+//! contract of `ss_sim::events::EventQueue`), and every same-index decision
+//! (load balancing, discipline selection) breaks ties by the lowest id /
+//! earliest enqueue, so a replication is bit-for-bit reproducible and
+//! independent of how many replications run concurrently elsewhere.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use ss_core::discipline::Discipline;
+use ss_sim::engine::{Engine, EventHandler};
+use ss_sim::events::EventQueue;
+use ss_sim::rng::RngStreams;
+use ss_sim::stats::QuantileSketch;
+
+use crate::config::{ArrivalProcess, FabricConfig, LbPolicy};
+use crate::events::{FabricEvent, Request};
+use crate::metrics::{FabricReport, TierReport};
+
+/// Stream id of the fabric scenario runner's per-replication seeds
+/// (`"FABR"`): replication `rep` of scenario `s` derives its simulation
+/// seed from `substream(FABRIC_SIM_STREAM, s * 2^16 + rep)`.  Disjoint
+/// from every other stream family in DESIGN.md's stream-id table.
+pub const FABRIC_SIM_STREAM: u64 = 0x4641_4252;
+
+// Substream families *within* one replication's own `RngStreams`.
+const ARRIVAL_FAMILY: u64 = 0x4641_0001;
+const PHASE_FAMILY: u64 = 0x4641_0002;
+const SERVICE_FAMILY: u64 = 0x4641_0003;
+const LB_FAMILY: u64 = 0x4641_0004;
+const FAIL_FAMILY: u64 = 0x4641_0005;
+const RETRY_FAMILY: u64 = 0x4641_0006;
+
+/// The per-replication simulation seed of `(scenario, rep)` under the
+/// shared scheme used by the `fabric` binary and the determinism tests.
+pub fn replication_seed(streams: &RngStreams, scenario_id: u64, rep: u64) -> u64 {
+    streams
+        .substream(FABRIC_SIM_STREAM, scenario_id * 0x1_0000 + rep)
+        .gen::<u64>()
+}
+
+fn sample_exp(rng: &mut ChaCha8Rng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+struct ClassState {
+    arrival_epoch: u64,
+    phase: usize,
+    rng_arrival: ChaCha8Rng,
+    rng_phase: ChaCha8Rng,
+    rng_retry: ChaCha8Rng,
+}
+
+struct Server {
+    up: bool,
+    /// Bumped on every failure; `Complete` events carry the epoch they
+    /// were scheduled under, so completions of aborted services are
+    /// recognised as stale and ignored.
+    epoch: u64,
+    queues: Vec<VecDeque<Request>>,
+    /// Total waiting requests across classes (excludes the one in service).
+    queued: usize,
+    in_service: Option<Request>,
+    service_start: f64,
+    /// Post-warmup busy time.
+    busy: f64,
+    rng_service: ChaCha8Rng,
+    rng_fail: ChaCha8Rng,
+}
+
+impl Server {
+    fn occupancy(&self) -> usize {
+        self.queued + usize::from(self.in_service.is_some())
+    }
+}
+
+struct Tier {
+    servers: Vec<Server>,
+    discipline: Arc<dyn Discipline>,
+    rr_next: usize,
+    rng_lb: ChaCha8Rng,
+    /// Tier-wide per-class queues, used instead of the per-server queues
+    /// under [`LbPolicy::CentralQueue`].
+    shared_queues: Vec<VecDeque<Request>>,
+    shared_queued: usize,
+    served: u64,
+    wait_sum: f64,
+    dropped: u64,
+}
+
+/// Discipline selection over a bank of per-class queues: highest index
+/// wins; ties go to the earliest head-of-line arrival, then the lowest
+/// class id (ascending scan + strict comparisons).
+fn select_class(discipline: &dyn Discipline, queues: &[VecDeque<Request>]) -> Option<usize> {
+    let mut best: Option<(usize, f64, f64)> = None; // (class, index, head enqueue time)
+    for (j, q) in queues.iter().enumerate() {
+        let Some(head) = q.front() else { continue };
+        let idx = discipline.class_index(j, q.len());
+        debug_assert!(!idx.is_nan());
+        let better = match best {
+            None => true,
+            Some((_, bi, bt)) => idx > bi || (idx == bi && head.enqueued < bt),
+        };
+        if better {
+            best = Some((j, idx, head.enqueued));
+        }
+    }
+    best.map(|(class, _, _)| class)
+}
+
+struct FabricSim<'a> {
+    cfg: &'a FabricConfig,
+    tiers: Vec<Tier>,
+    classes: Vec<ClassState>,
+    next_id: u64,
+    completed: u64,
+    lost: u64,
+    retries: u64,
+    rtt: QuantileSketch,
+}
+
+impl<'a> FabricSim<'a> {
+    fn new(
+        cfg: &'a FabricConfig,
+        disciplines: &[Arc<dyn Discipline>],
+        streams: &RngStreams,
+    ) -> Self {
+        assert_eq!(disciplines.len(), cfg.tiers.len());
+        let classes = (0..cfg.classes.len())
+            .map(|j| ClassState {
+                arrival_epoch: 0,
+                phase: 0,
+                rng_arrival: streams.substream(ARRIVAL_FAMILY, j as u64),
+                rng_phase: streams.substream(PHASE_FAMILY, j as u64),
+                rng_retry: streams.substream(RETRY_FAMILY, j as u64),
+            })
+            .collect();
+        let tiers = cfg
+            .tiers
+            .iter()
+            .enumerate()
+            .map(|(t, tier)| Tier {
+                servers: (0..tier.servers)
+                    .map(|s| Server {
+                        up: true,
+                        epoch: 0,
+                        queues: vec![VecDeque::new(); cfg.classes.len()],
+                        queued: 0,
+                        in_service: None,
+                        service_start: 0.0,
+                        busy: 0.0,
+                        rng_service: streams
+                            .substream(SERVICE_FAMILY, (t as u64) * 0x1_0000 + s as u64),
+                        rng_fail: streams.substream(FAIL_FAMILY, (t as u64) * 0x1_0000 + s as u64),
+                    })
+                    .collect(),
+                discipline: Arc::clone(&disciplines[t]),
+                rr_next: 0,
+                rng_lb: streams.substream(LB_FAMILY, t as u64),
+                shared_queues: vec![VecDeque::new(); cfg.classes.len()],
+                shared_queued: 0,
+                served: 0,
+                wait_sum: 0.0,
+                dropped: 0,
+            })
+            .collect();
+        Self {
+            cfg,
+            tiers,
+            classes,
+            next_id: 0,
+            completed: 0,
+            lost: 0,
+            retries: 0,
+            // Wide geometric sketch: 1.35% relative bucket width over
+            // [1e-3, 1e3], so P50/P95/P99 stay meaningful even with long
+            // retry/backoff tails.
+            rtt: QuantileSketch::new(1e-3, 1e3, 1024),
+        }
+    }
+
+    fn arrival_rate(&self, class: usize) -> f64 {
+        match &self.cfg.classes[class].arrivals {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Mmpp { rates, .. } => rates[self.classes[class].phase],
+        }
+    }
+
+    fn schedule_next_arrival(
+        &mut self,
+        class: usize,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let rate = self.arrival_rate(class);
+        let dt = sample_exp(&mut self.classes[class].rng_arrival, rate);
+        let epoch = self.classes[class].arrival_epoch;
+        queue.schedule(now + dt, FabricEvent::NextArrival { class, epoch });
+    }
+
+    /// Add the in-service interval `[start, end]` of one server to its
+    /// post-warmup busy time.
+    fn credit_busy(&mut self, tier: usize, server: usize, start: f64, end: f64) {
+        let lo = start.max(self.cfg.warmup);
+        let hi = end.min(self.cfg.horizon);
+        if hi > lo {
+            self.tiers[tier].servers[server].busy += hi - lo;
+        }
+    }
+
+    /// Load-balance `req` onto a server queue of `tier` (or the tier's
+    /// shared queue under [`LbPolicy::CentralQueue`]), or drop it.
+    fn enqueue_at_tier(
+        &mut self,
+        tier: usize,
+        mut req: Request,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        if matches!(self.cfg.tiers[tier].lb, LbPolicy::CentralQueue) {
+            if let Some(cap) = self.cfg.tiers[tier].queue_capacity {
+                if self.tiers[tier].shared_queued >= cap {
+                    self.drop_request(tier, req, now, queue);
+                    return;
+                }
+            }
+            req.enqueued = now;
+            let t = &mut self.tiers[tier];
+            t.shared_queues[req.class].push_back(req);
+            t.shared_queued += 1;
+            // Hand the work to the lowest-id idle up server, if any.
+            let idle = t
+                .servers
+                .iter()
+                .position(|s| s.up && s.in_service.is_none());
+            if let Some(server) = idle {
+                self.try_start(tier, server, now, queue);
+            }
+            return;
+        }
+        let chosen = self.pick_server(tier, req.class);
+        let Some(server) = chosen else {
+            // Every server of the tier is down.
+            self.drop_request(tier, req, now, queue);
+            return;
+        };
+        if let Some(cap) = self.cfg.tiers[tier].queue_capacity {
+            if self.tiers[tier].servers[server].queued >= cap {
+                self.drop_request(tier, req, now, queue);
+                return;
+            }
+        }
+        req.enqueued = now;
+        let s = &mut self.tiers[tier].servers[server];
+        s.queues[req.class].push_back(req);
+        s.queued += 1;
+        self.try_start(tier, server, now, queue);
+    }
+
+    /// The load-balancer decision: an up server of `tier`, or `None` when
+    /// the whole tier is down.
+    fn pick_server(&mut self, tier: usize, _class: usize) -> Option<usize> {
+        let n = self.tiers[tier].servers.len();
+        let any_up = self.tiers[tier].servers.iter().any(|s| s.up);
+        if !any_up {
+            return None;
+        }
+        match &self.cfg.tiers[tier].lb {
+            LbPolicy::RoundRobin => {
+                let t = &mut self.tiers[tier];
+                for k in 0..n {
+                    let cand = (t.rr_next + k) % n;
+                    if t.servers[cand].up {
+                        t.rr_next = (cand + 1) % n;
+                        return Some(cand);
+                    }
+                }
+                unreachable!("an up server exists");
+            }
+            LbPolicy::JoinShortestQueue => self.tiers[tier]
+                .servers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.up)
+                .min_by_key(|(i, s)| (s.occupancy(), *i))
+                .map(|(i, _)| i),
+            LbPolicy::Weighted(weights) => {
+                let t = &mut self.tiers[tier];
+                let total: f64 = weights
+                    .iter()
+                    .zip(&t.servers)
+                    .filter(|(_, s)| s.up)
+                    .map(|(w, _)| *w)
+                    .sum();
+                let mut u = t.rng_lb.gen::<f64>() * total;
+                let mut last_up = 0;
+                for (i, (w, s)) in weights.iter().zip(&t.servers).enumerate() {
+                    if !s.up {
+                        continue;
+                    }
+                    last_up = i;
+                    if u < *w {
+                        return Some(i);
+                    }
+                    u -= *w;
+                }
+                Some(last_up) // floating-point slack lands on the last up server
+            }
+            LbPolicy::CentralQueue => {
+                unreachable!("central-queue tiers never pick a server at arrival")
+            }
+        }
+    }
+
+    /// If `(tier, server)` is up and idle, start serving the
+    /// highest-priority waiting request per the tier's discipline — from
+    /// the server's own queues, or from the tier's shared queue under
+    /// [`LbPolicy::CentralQueue`].
+    fn try_start(
+        &mut self,
+        tier: usize,
+        server: usize,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let central = matches!(self.cfg.tiers[tier].lb, LbPolicy::CentralQueue);
+        let t = &mut self.tiers[tier];
+        if !t.servers[server].up || t.servers[server].in_service.is_some() {
+            return;
+        }
+        let (class, req) = if central {
+            let Some(class) = select_class(t.discipline.as_ref(), &t.shared_queues) else {
+                return;
+            };
+            t.shared_queued -= 1;
+            let req = t.shared_queues[class]
+                .pop_front()
+                .expect("chosen queue is nonempty");
+            (class, req)
+        } else {
+            if t.servers[server].queued == 0 {
+                return;
+            }
+            let class = select_class(t.discipline.as_ref(), &t.servers[server].queues)
+                .expect("queued > 0 implies a nonempty class queue");
+            let s = &mut t.servers[server];
+            s.queued -= 1;
+            let req = s.queues[class]
+                .pop_front()
+                .expect("chosen queue is nonempty");
+            (class, req)
+        };
+        if now > self.cfg.warmup {
+            t.served += 1;
+            t.wait_sum += now - req.enqueued;
+        }
+        let s = &mut t.servers[server];
+        let service = self.cfg.tiers[tier].service[class].sample(&mut s.rng_service);
+        s.in_service = Some(req);
+        s.service_start = now;
+        queue.schedule(
+            now + service,
+            FabricEvent::Complete {
+                tier,
+                server,
+                epoch: s.epoch,
+            },
+        );
+    }
+
+    /// Account a drop at `tier` and either schedule a client retry or give
+    /// the request up for lost.
+    fn drop_request(
+        &mut self,
+        tier: usize,
+        req: Request,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let after_warmup = now > self.cfg.warmup;
+        if after_warmup {
+            self.tiers[tier].dropped += 1;
+        }
+        let retry = &self.cfg.retry;
+        if req.attempt < retry.max_retries {
+            let attempt = req.attempt + 1;
+            let jitter = 0.5 + self.classes[req.class].rng_retry.gen::<f64>();
+            let backoff = retry.base_backoff * retry.multiplier.powi(attempt as i32 - 1) * jitter;
+            if after_warmup {
+                self.retries += 1;
+            }
+            queue.schedule(
+                now + backoff,
+                FabricEvent::Retry {
+                    req: Request { attempt, ..req },
+                },
+            );
+        } else if after_warmup {
+            self.lost += 1;
+        }
+    }
+}
+
+impl EventHandler for FabricSim<'_> {
+    type Event = FabricEvent;
+
+    fn handle(&mut self, time: f64, event: FabricEvent, queue: &mut EventQueue<FabricEvent>) {
+        match event {
+            FabricEvent::NextArrival { class, epoch } => {
+                if epoch != self.classes[class].arrival_epoch {
+                    return; // superseded by an MMPP phase switch
+                }
+                let req = Request {
+                    class,
+                    id: self.next_id,
+                    born: time,
+                    attempt: 0,
+                    enqueued: time,
+                };
+                self.next_id += 1;
+                self.enqueue_at_tier(0, req, time, queue);
+                self.schedule_next_arrival(class, time, queue);
+            }
+            FabricEvent::PhaseSwitch { class } => {
+                let ArrivalProcess::Mmpp { rates, switch_rate } =
+                    self.cfg.classes[class].arrivals.clone()
+                else {
+                    unreachable!("phase switches only exist for MMPP classes")
+                };
+                let st = &mut self.classes[class];
+                st.phase = (st.phase + 1) % rates.len();
+                // The pending arrival was sampled at the old rate; bump the
+                // epoch so it dies on arrival and draw a fresh one at the
+                // new rate (exponential memorylessness makes this exact).
+                st.arrival_epoch += 1;
+                self.schedule_next_arrival(class, time, queue);
+                let dt = sample_exp(&mut self.classes[class].rng_phase, switch_rate);
+                queue.schedule(time + dt, FabricEvent::PhaseSwitch { class });
+            }
+            FabricEvent::ArriveAtTier { tier, req } => {
+                self.enqueue_at_tier(tier, req, time, queue);
+            }
+            FabricEvent::Complete {
+                tier,
+                server,
+                epoch,
+            } => {
+                if epoch != self.tiers[tier].servers[server].epoch {
+                    return; // service was aborted by a failure
+                }
+                let start = self.tiers[tier].servers[server].service_start;
+                self.credit_busy(tier, server, start, time);
+                let req = self.tiers[tier].servers[server]
+                    .in_service
+                    .take()
+                    .expect("a live Complete implies a request in service");
+                if tier + 1 < self.tiers.len() {
+                    queue.schedule(
+                        time + self.cfg.tiers[tier].hop_delay,
+                        FabricEvent::ArriveAtTier {
+                            tier: tier + 1,
+                            req,
+                        },
+                    );
+                } else {
+                    // Service chain done: route the response back.
+                    queue.schedule(time, FabricEvent::ReturnHop { tier, req });
+                }
+                self.try_start(tier, server, time, queue);
+            }
+            FabricEvent::Fail { tier, server } => {
+                let s = &mut self.tiers[tier].servers[server];
+                debug_assert!(s.up, "Fail events are only scheduled while up");
+                s.up = false;
+                s.epoch += 1;
+                let start = s.service_start;
+                let aborted = s.in_service.take();
+                let failure = self.cfg.tiers[tier]
+                    .failure
+                    .expect("failing tier has a failure config");
+                let dt = sample_exp(
+                    &mut self.tiers[tier].servers[server].rng_fail,
+                    1.0 / failure.mean_time_to_repair,
+                );
+                queue.schedule(time + dt, FabricEvent::Recover { tier, server });
+                if let Some(req) = aborted {
+                    self.credit_busy(tier, server, start, time);
+                    self.drop_request(tier, req, time, queue);
+                }
+            }
+            FabricEvent::Recover { tier, server } => {
+                let failure = self.cfg.tiers[tier]
+                    .failure
+                    .expect("recovering tier has a failure config");
+                let s = &mut self.tiers[tier].servers[server];
+                debug_assert!(!s.up);
+                s.up = true;
+                let dt = sample_exp(&mut s.rng_fail, 1.0 / failure.mean_time_to_failure);
+                queue.schedule(time + dt, FabricEvent::Fail { tier, server });
+                self.try_start(tier, server, time, queue);
+            }
+            FabricEvent::ReturnHop { tier, req } => {
+                if tier == 0 {
+                    if time > self.cfg.warmup {
+                        self.completed += 1;
+                        self.rtt.record(time - req.born);
+                    }
+                } else {
+                    queue.schedule(
+                        time + self.cfg.tiers[tier - 1].hop_delay,
+                        FabricEvent::ReturnHop {
+                            tier: tier - 1,
+                            req,
+                        },
+                    );
+                }
+            }
+            FabricEvent::Retry { req } => {
+                self.enqueue_at_tier(0, req, time, queue);
+            }
+        }
+    }
+}
+
+/// Run one fabric replication to the configured horizon.  The result is a
+/// pure function of `(config, seed)`.
+///
+/// Builds the tier disciplines from scratch; when running many
+/// replications of one scenario, build them once with
+/// [`FabricConfig::build_disciplines`] and use [`run_fabric_with`].
+pub fn run_fabric(config: &FabricConfig, seed: u64) -> FabricReport {
+    run_fabric_with(config, &config.build_disciplines(), seed)
+}
+
+/// [`run_fabric`] with prebuilt tier disciplines (index tabulation can
+/// dwarf the simulation itself; share it across replications).
+pub fn run_fabric_with(
+    config: &FabricConfig,
+    disciplines: &[Arc<dyn Discipline>],
+    seed: u64,
+) -> FabricReport {
+    config.validate();
+    let streams = RngStreams::new(seed);
+    let mut sim = FabricSim::new(config, disciplines, &streams);
+    let mut engine: Engine<FabricSim> = Engine::new();
+
+    for class in 0..config.classes.len() {
+        let rate = sim.arrival_rate(class);
+        let dt = sample_exp(&mut sim.classes[class].rng_arrival, rate);
+        engine.schedule(dt, FabricEvent::NextArrival { class, epoch: 0 });
+        if let ArrivalProcess::Mmpp { switch_rate, .. } = config.classes[class].arrivals {
+            let dt = sample_exp(&mut sim.classes[class].rng_phase, switch_rate);
+            engine.schedule(dt, FabricEvent::PhaseSwitch { class });
+        }
+    }
+    for (t, tier) in config.tiers.iter().enumerate() {
+        if let Some(f) = tier.failure {
+            for s in 0..tier.servers {
+                let dt = sample_exp(
+                    &mut sim.tiers[t].servers[s].rng_fail,
+                    1.0 / f.mean_time_to_failure,
+                );
+                engine.schedule(dt, FabricEvent::Fail { tier: t, server: s });
+            }
+        }
+    }
+
+    engine.run(&mut sim, config.horizon);
+
+    // Servers still busy at the horizon accrue their partial service.
+    for t in 0..sim.tiers.len() {
+        for s in 0..sim.tiers[t].servers.len() {
+            if sim.tiers[t].servers[s].in_service.is_some() {
+                let start = sim.tiers[t].servers[s].service_start;
+                sim.credit_busy(t, s, start, config.horizon);
+            }
+        }
+    }
+
+    let window = config.horizon - config.warmup;
+    let tiers = sim
+        .tiers
+        .iter()
+        .map(|t| TierReport {
+            served: t.served,
+            mean_wait: if t.served > 0 {
+                t.wait_sum / t.served as f64
+            } else {
+                0.0
+            },
+            utilization: t.servers.iter().map(|s| s.busy).sum::<f64>()
+                / (window * t.servers.len() as f64),
+            dropped: t.dropped,
+        })
+        .collect();
+    FabricReport {
+        completed: sim.completed,
+        lost: sim.lost,
+        retries: sim.retries,
+        rtt: sim.rtt,
+        tiers,
+        events: engine.events_processed,
+    }
+}

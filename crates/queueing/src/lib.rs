@@ -23,6 +23,7 @@ pub mod achievable_region;
 pub mod cmu;
 pub mod cobham;
 pub mod conservation;
+pub mod discipline;
 pub mod fluid;
 pub mod klimov;
 pub mod klimov_sim;
@@ -37,6 +38,7 @@ pub mod stability;
 pub use achievable_region::{region_lp, vertex_performance, RegionLpResult};
 pub use cmu::cmu_order;
 pub use cobham::{mg1_nonpreemptive_priority, mg1_preemptive_priority, pollaczek_khinchine_wait};
+pub use discipline::cmu_discipline;
 pub use klimov::{klimov_indices, KlimovNetwork};
 pub use klimov_sim::{exact_mean_workload, simulate_klimov_policy, KlimovPolicyResult};
 pub use mg1::{Discipline, Mg1Config, Mg1Result};

@@ -135,6 +135,29 @@ pub fn simulate_mmm_priority(
     }
 }
 
+/// The Erlang-C delay probability of an M/M/c queue: `P(wait > 0)` for
+/// Poisson arrivals at rate `lambda`, `c` servers each of rate `mu`.
+/// Computed through the Erlang-B recursion `B_k = a B_{k-1} / (k + a
+/// B_{k-1})` (numerically stable for any offered load `a = λ/µ`), then
+/// converted via `C = B_c / (1 - ρ (1 - B_c))`.
+pub fn erlang_c(servers: usize, lambda: f64, mu: f64) -> f64 {
+    assert!(servers >= 1 && lambda > 0.0 && mu > 0.0);
+    let rho = lambda / (servers as f64 * mu);
+    assert!(rho < 1.0, "Erlang C needs a stable queue (rho = {rho})");
+    let a = lambda / mu;
+    let mut b = 1.0; // Erlang-B with 0 servers
+    for k in 1..=servers {
+        b = a * b / (k as f64 + a * b);
+    }
+    b / (1.0 - rho * (1.0 - b))
+}
+
+/// Exact mean queueing delay (time in queue, excluding service) of the
+/// FIFO M/M/c queue: `W_q = C(c, λ/µ) / (c µ - λ)`.
+pub fn mmc_mean_wait(servers: usize, lambda: f64, mu: f64) -> f64 {
+    erlang_c(servers, lambda, mu) / (servers as f64 * mu - lambda)
+}
+
 /// The fast-single-server lower bound on the holding-cost rate of *any*
 /// policy for `m` parallel unit-rate servers: the preemptive cµ optimum of
 /// the M/G/1 queue whose service times are the originals divided by `m`.
@@ -252,13 +275,25 @@ mod tests {
         )];
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let res = simulate_mmm_priority(&classes, 2, &[0], 80_000.0, 2_000.0, &mut rng);
-        // Erlang-C for m=2, a=1.5: P(wait) = 0.6428...; Lq = P(wait)*rho/(1-rho) = 1.9286; L = Lq + 1.5 = 3.43.
-        let expected = 3.4286;
+        // L = Lq + a from Little's law, Lq = lambda * Wq.
+        let expected = 1.5 * mmc_mean_wait(2, 1.5, 1.0) + 1.5;
         assert!(
             (res.mean_number[0] - expected).abs() / expected < 0.08,
             "L = {} vs Erlang-C {expected}",
             res.mean_number[0]
         );
+    }
+
+    #[test]
+    fn erlang_c_matches_hand_computed_values() {
+        // m=2, a=1.5: the classic textbook value P(wait) = 9/14 = 0.642857.
+        assert!((erlang_c(2, 1.5, 1.0) - 9.0 / 14.0).abs() < 1e-12);
+        // c=1 reduces to M/M/1: P(wait) = rho, Wq = rho / (mu - lambda).
+        assert!((erlang_c(1, 0.6, 1.0) - 0.6).abs() < 1e-12);
+        assert!((mmc_mean_wait(1, 0.6, 1.0) - 0.6 / 0.4).abs() < 1e-12);
+        // Rate scaling: speeding everything up by x scales Wq by 1/x.
+        let w = mmc_mean_wait(3, 2.4, 1.0);
+        assert!((mmc_mean_wait(3, 4.8, 2.0) - w / 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,14 +55,36 @@ impl<H: EventHandler> Engine<H> {
 
     /// Run until the calendar empties, the handler requests a stop, or the
     /// clock passes `horizon`.  Returns the final clock value.
+    ///
+    /// Events scheduled past `horizon` are left **on the calendar**, so the
+    /// run can be resumed with a larger horizon without losing events — the
+    /// sliding-window pattern (`run(h1)` then `run(h2 > h1)`) processes
+    /// exactly the events a single `run(h2)` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in release builds too) if the next event's time precedes the
+    /// current clock: scheduling an event in the past is a model bug, and a
+    /// calendar that travels backwards silently corrupts every
+    /// time-weighted statistic downstream.
     pub fn run(&mut self, handler: &mut H, horizon: f64) -> f64 {
-        while let Some((time, event)) = self.queue.pop() {
-            if time > horizon {
-                // Leave the event un-processed; the clock stops at the horizon.
-                self.clock = horizon;
+        loop {
+            let Some((time, event)) = self.queue.pop_at_or_before(horizon) else {
+                // Calendar empty, or the next event lies past the horizon
+                // (it stays scheduled for a future resumed run).  The clock
+                // advances to the horizon only when something remains to
+                // wait for; it never moves backwards and never becomes
+                // infinite.
+                if self.queue.peek_time().is_some() && horizon > self.clock {
+                    self.clock = horizon;
+                }
                 break;
-            }
-            debug_assert!(time + 1e-12 >= self.clock, "time must be nondecreasing");
+            };
+            assert!(
+                time + 1e-12 >= self.clock,
+                "event time {time} precedes the clock {}: an event was scheduled in the past",
+                self.clock
+            );
             self.clock = time;
             handler.handle(time, event, &mut self.queue);
             self.events_processed += 1;
@@ -125,5 +147,99 @@ mod tests {
         let end = engine.run(&mut handler, 10.5);
         assert_eq!(end, 10.5);
         assert_eq!(handler.arrivals, 11); // events at t = 0..=10
+    }
+
+    #[test]
+    fn over_horizon_event_stays_on_calendar() {
+        let mut engine: Engine<Counter> = Engine::new();
+        let mut handler = Counter {
+            arrivals: 0,
+            limit: u64::MAX,
+        };
+        engine.schedule(0.0, ());
+        engine.run(&mut handler, 10.5);
+        // The event at t = 11 was past the horizon: it must still be
+        // scheduled, not silently discarded.
+        assert_eq!(engine.queue.len(), 1);
+        assert_eq!(engine.queue.peek_time(), Some(11.0));
+    }
+
+    #[test]
+    fn resumed_run_with_larger_horizon_loses_no_events() {
+        // Regression test for the over-horizon event drop: `run` used to
+        // pop-and-discard the first event past the horizon, so resuming
+        // with a larger horizon found an empty calendar and the birth
+        // process died at 11 arrivals instead of reaching 21.
+        let mut engine: Engine<Counter> = Engine::new();
+        let mut handler = Counter {
+            arrivals: 0,
+            limit: u64::MAX,
+        };
+        engine.schedule(0.0, ());
+        engine.run(&mut handler, 10.5);
+        assert_eq!(handler.arrivals, 11);
+        let end = engine.run(&mut handler, 20.5);
+        assert_eq!(end, 20.5);
+        assert_eq!(handler.arrivals, 21); // events at t = 0..=20, none lost
+        assert_eq!(engine.events_processed, 21);
+    }
+
+    #[test]
+    fn resumed_runs_match_a_single_long_run() {
+        let mut windowed: Engine<Counter> = Engine::new();
+        let mut wh = Counter {
+            arrivals: 0,
+            limit: u64::MAX,
+        };
+        windowed.schedule(0.0, ());
+        for k in 1..=8 {
+            windowed.run(&mut wh, 2.5 * k as f64);
+        }
+        let mut single: Engine<Counter> = Engine::new();
+        let mut sh = Counter {
+            arrivals: 0,
+            limit: u64::MAX,
+        };
+        single.schedule(0.0, ());
+        single.run(&mut sh, 20.0);
+        assert_eq!(wh.arrivals, sh.arrivals);
+        assert_eq!(windowed.events_processed, single.events_processed);
+    }
+
+    #[test]
+    fn shrinking_the_horizon_does_not_rewind_the_clock() {
+        let mut engine: Engine<Counter> = Engine::new();
+        let mut handler = Counter {
+            arrivals: 0,
+            limit: u64::MAX,
+        };
+        engine.schedule(0.0, ());
+        engine.run(&mut handler, 10.5);
+        let end = engine.run(&mut handler, 5.0);
+        assert_eq!(end, 10.5);
+        assert_eq!(handler.arrivals, 11);
+    }
+
+    /// A handler that schedules its follow-up in the past.
+    struct TimeTraveller;
+
+    impl EventHandler for TimeTraveller {
+        type Event = ();
+
+        fn handle(&mut self, time: f64, _event: (), queue: &mut EventQueue<()>) {
+            if time > 0.5 {
+                queue.schedule(time - 1.0, ());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_fails_loudly() {
+        // The nondecreasing-time check is a hard `assert!` so release-mode
+        // CI jobs catch this model bug too, not only debug test builds.
+        let mut engine: Engine<TimeTraveller> = Engine::new();
+        engine.schedule(1.0, ());
+        engine.run(&mut TimeTraveller, f64::INFINITY);
     }
 }

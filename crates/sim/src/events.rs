@@ -74,6 +74,19 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.time, e.event))
     }
 
+    /// Remove and return the earliest event only if it occurs at or before
+    /// `horizon`; otherwise leave the calendar untouched and return `None`.
+    ///
+    /// This is the horizon-respecting pop [`crate::engine::Engine::run`] is
+    /// built on: an event past the horizon stays scheduled, so a run can be
+    /// resumed later with a larger horizon without losing events.
+    pub fn pop_at_or_before(&mut self, horizon: f64) -> Option<(f64, E)> {
+        match self.heap.peek() {
+            Some(e) if e.time <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|e| e.time)

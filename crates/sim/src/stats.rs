@@ -153,6 +153,140 @@ impl OnlineStats {
     }
 }
 
+/// Deterministic fixed-bucket quantile sketch for latency tails.
+///
+/// Values are counted into geometrically spaced buckets spanning
+/// `[floor, cap]`; a quantile query returns the **upper edge** of the
+/// bucket where the cumulative count crosses the rank.  Two properties
+/// matter for the service-fabric harness:
+///
+/// * the answer depends only on the multiset of recorded values — not on
+///   insertion order, thread schedule or allocation state — so P50/P95/P99
+///   lines diff byte-for-byte across `SS_THREADS`;
+/// * the relative error is bounded by the bucket growth factor
+///   (`growth - 1`, e.g. 2% at 512 buckets over four decades), which is
+///   a resolution statement the report can carry, unlike a sampled
+///   reservoir's run-dependent noise.
+///
+/// Values at or below `floor` land in the first bucket; values beyond
+/// `cap` land in a dedicated overflow bucket, whose quantile is reported
+/// as the exact observed maximum.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    floor: f64,
+    inv_log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Sketch spanning `[floor, cap]` with `buckets` geometric buckets
+    /// (plus an overflow bucket).  `floor` must be positive and `cap`
+    /// larger than `floor`.
+    pub fn new(floor: f64, cap: f64, buckets: usize) -> Self {
+        assert!(floor > 0.0 && cap > floor && buckets >= 1);
+        let growth = (cap / floor).powf(1.0 / buckets as f64);
+        Self {
+            floor,
+            inv_log_growth: 1.0 / growth.ln(),
+            counts: vec![0; buckets + 1],
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Default latency sketch: four decades of dynamic range (`1e-3` to
+    /// `1e1` time units) at 512 buckets, ~1.8% relative resolution.
+    pub fn latency_default() -> Self {
+        Self::new(1e-3, 10.0, 512)
+    }
+
+    /// Record one observation (must be finite and nonnegative).
+    pub fn record(&mut self, x: f64) {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "sketch value must be finite, got {x}"
+        );
+        let overflow = self.counts.len() - 1;
+        let idx = if x <= self.floor {
+            0
+        } else {
+            // Bucket b covers (floor·g^b, floor·g^(b+1)]; ceil of the log
+            // ratio minus one floors exactly onto the covering bucket.
+            (((x / self.floor).ln() * self.inv_log_growth).ceil() as usize)
+                .saturating_sub(1)
+                .min(overflow)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded observations (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded observation (exact).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper edge of the bucket
+    /// containing the rank-`ceil(q·n)` observation; `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0);
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        let overflow = self.counts.len() - 1;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if b == overflow {
+                    // Overflow bucket: the cap understates the tail, so
+                    // report the exact observed maximum instead.
+                    self.max
+                } else {
+                    self.floor * ((b + 1) as f64 / self.inv_log_growth).exp()
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another sketch (must share the same geometry).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        assert_eq!(self.floor.to_bits(), other.floor.to_bits());
+        assert_eq!(
+            self.inv_log_growth.to_bits(),
+            other.inv_log_growth.to_bits()
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Time-weighted average of a piecewise-constant process (queue lengths,
 /// number-in-system, busy servers).
 #[derive(Debug, Clone)]
@@ -400,6 +534,82 @@ mod tests {
         tw.update(10.0, 1.0);
         let avg = tw.time_average(10.0);
         assert!((avg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_quantiles_bound_true_quantiles() {
+        let mut s = QuantileSketch::new(0.01, 100.0, 400);
+        // 1..=1000 scaled: true p50 = 5.0, p99 = 9.9 (of 0.01..=10.0).
+        for i in 1..=1000 {
+            s.record(i as f64 * 0.01);
+        }
+        assert_eq!(s.count(), 1000);
+        let growth = (100.0f64 / 0.01).powf(1.0 / 400.0);
+        for &(q, truth) in &[(0.5, 5.0), (0.95, 9.5), (0.99, 9.9)] {
+            let est = s.quantile(q);
+            assert!(
+                est >= truth * 0.999 && est <= truth * growth * 1.001,
+                "q={q}: est {est} vs truth {truth}"
+            );
+        }
+        assert!((s.mean() - 5.005).abs() < 1e-9);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn sketch_is_insertion_order_invariant() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| 0.002 + (i as f64 * 0.7919).fract() * 8.0)
+            .collect();
+        let mut fwd = QuantileSketch::latency_default();
+        let mut rev = QuantileSketch::latency_default();
+        for &x in &xs {
+            fwd.record(x);
+        }
+        for &x in xs.iter().rev() {
+            rev.record(x);
+        }
+        for &q in &[0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(fwd.quantile(q).to_bits(), rev.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn sketch_merge_equals_single_sketch() {
+        let xs: Vec<f64> = (0..300).map(|i| 0.01 + i as f64 * 0.03).collect();
+        let mut whole = QuantileSketch::latency_default();
+        let mut a = QuantileSketch::latency_default();
+        let mut b = QuantileSketch::latency_default();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for &q in &[0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q).to_bits(), whole.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn sketch_overflow_reports_observed_max() {
+        let mut s = QuantileSketch::new(0.1, 1.0, 8);
+        s.record(0.5);
+        s.record(250.0);
+        assert_eq!(s.quantile(1.0), 250.0);
+        assert!(s.quantile(0.5) <= 1.0);
+    }
+
+    #[test]
+    fn empty_sketch_is_zero() {
+        let s = QuantileSketch::latency_default();
+        assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count(), 0);
     }
 
     #[test]

@@ -380,6 +380,25 @@ pub fn generate_corpus(seed: u64) -> Corpus {
         );
     }
 
+    // The fabric-vs-Erlang-C pair: the service-fabric DES as a single
+    // central-queue FIFO M/M/c tier across server counts and loads.  The
+    // per-server rate is drawn from the generation substream (the pair must
+    // hold for any µ); λ is then set to hit the target load exactly.
+    for &(servers, rho) in &[(2usize, 0.60), (3, 0.75), (4, 0.55), (5, 0.70), (8, 0.65)] {
+        let mut rng = streams.substream(GENERATION_STREAM, scenarios.len() as u64);
+        let mu = rng.gen_range(0.5..2.0);
+        let lambda = rho * servers as f64 * mu;
+        push(
+            &mut scenarios,
+            format!("fabric-mmc c={servers} rho={rho:.2}"),
+            Spec::Fabric {
+                servers,
+                lambda,
+                mu,
+            },
+        );
+    }
+
     Corpus { seed, scenarios }
 }
 

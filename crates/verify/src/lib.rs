@@ -25,6 +25,7 @@
 //! | Klimov-network sim (index order)| Cobham (no feedback) / chain-workload constant |
 //! | Whittle-priority restless sim   | exact joint-chain policy value + DP/LP gates   |
 //! | SEPT/LEPT/WSEPT list schedules  | exact subset-DP flowtime/makespan recursions   |
+//! | fabric M/M/c central-queue wait | Erlang-C mean-wait formula                     |
 //!
 //! The `verify` binary mirrors the `experiments`/`sweeps` harness
 //! conventions (`--jobs`, `--json`, `--check`); `--check` runs the corpus

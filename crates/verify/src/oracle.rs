@@ -50,11 +50,14 @@ pub enum OraclePair {
     /// Simulated SEPT/LEPT/WSEPT list schedules on identical parallel
     /// machines vs the exact subset-DP flowtime/makespan recursions.
     SeptLeptVsDp,
+    /// The `ss-fabric` service-fabric simulator configured as a single
+    /// central-queue FIFO M/M/c tier vs the Erlang-C mean-wait formula.
+    FabricVsErlangC,
 }
 
 impl OraclePair {
     /// All pairs, in report order.
-    pub const ALL: [OraclePair; 10] = [
+    pub const ALL: [OraclePair; 11] = [
         OraclePair::FifoVsPollaczekKhinchine,
         OraclePair::NonpreemptiveVsCobham,
         OraclePair::PreemptiveVsFormula,
@@ -65,6 +68,7 @@ impl OraclePair {
         OraclePair::KlimovVsExact,
         OraclePair::WhittleVsDp,
         OraclePair::SeptLeptVsDp,
+        OraclePair::FabricVsErlangC,
     ];
 
     /// Stable machine-readable key (used in report lines and JSON).
@@ -80,6 +84,7 @@ impl OraclePair {
             OraclePair::KlimovVsExact => "klimov-vs-exact",
             OraclePair::WhittleVsDp => "whittle-vs-dp",
             OraclePair::SeptLeptVsDp => "sept-lept-vs-dp",
+            OraclePair::FabricVsErlangC => "fabric-vs-erlangc",
         }
     }
 

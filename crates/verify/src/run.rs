@@ -12,6 +12,7 @@
 use crate::corpus::Corpus;
 use crate::oracle::{check, OraclePair, Tolerance, Verdict};
 use crate::scenario::{pair_for_mode, BatchMetric, Budget, QueueMode, Scenario, Spec};
+use rand::Rng;
 use ss_bandits::exact::MultiArmedBandit;
 use ss_bandits::restless::{
     simulate_restless, whittle_indices, whittle_relaxation_bound, RestlessPolicy, RestlessProject,
@@ -23,6 +24,10 @@ use ss_batch::exact_exp::{
 };
 use ss_batch::parallel::simulate_list_schedule;
 use ss_core::job::JobClass;
+use ss_fabric::{
+    run_fabric, ArrivalProcess, ClassConfig, DisciplineKind, FabricConfig, LbPolicy, RetryPolicy,
+    TierConfig,
+};
 use ss_lp::LinearProgram;
 use ss_queueing::achievable_region::region_lp;
 use ss_queueing::cmu::cmu_order;
@@ -62,6 +67,7 @@ fn tolerance_for(pair: OraclePair) -> Tolerance {
         OraclePair::KlimovVsExact => Tolerance::monte_carlo(0.10),
         OraclePair::WhittleVsDp => Tolerance::monte_carlo(0.06),
         OraclePair::SeptLeptVsDp => Tolerance::monte_carlo(0.05),
+        OraclePair::FabricVsErlangC => Tolerance::monte_carlo(0.10),
         OraclePair::LpPrimalVsDual | OraclePair::AchievableLpVsCmu => Tolerance::exact(),
     }
 }
@@ -294,6 +300,60 @@ fn run_restless(
     )
 }
 
+/// The fabric pair: the service-fabric DES configured as exactly the model
+/// Erlang-C solves — one tier, one class, Poisson arrivals, exponential
+/// servers behind a central FIFO queue, no hops, failures or retries —
+/// must reproduce the closed-form M/M/c mean queueing delay.  Exercises
+/// the whole fabric machinery (calendar, central queue, discipline
+/// selection, warmup-clipped accounting) through the public `run_fabric`
+/// entry point.
+fn run_fabric_erlang(
+    scenario_id: usize,
+    servers: usize,
+    lambda: f64,
+    mu: f64,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let config = FabricConfig {
+        name: format!("mmc-c{servers}"),
+        classes: vec![ClassConfig {
+            arrivals: ArrivalProcess::Poisson { rate: lambda },
+            holding_cost: 1.0,
+        }],
+        tiers: vec![TierConfig {
+            servers,
+            queue_capacity: None,
+            service: vec![ss_distributions::dyn_dist(
+                ss_distributions::Exponential::with_mean(1.0 / mu),
+            )],
+            discipline: DisciplineKind::Fifo,
+            lb: LbPolicy::CentralQueue,
+            hop_delay: 0.0,
+            failure: None,
+        }],
+        retry: RetryPolicy::none(),
+        warmup: budget.warmup,
+        horizon: budget.horizon,
+    };
+    let values: Vec<f64> = (0..budget.queue_replications)
+        .map(|rep| {
+            let seed = streams
+                .substream(scenario_id as u64, rep as u64)
+                .gen::<u64>();
+            run_fabric(&config, seed).tiers[0].mean_wait
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    let exact = ss_queueing::parallel_servers::mmc_mean_wait(servers, lambda, mu);
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(OraclePair::FabricVsErlangC),
+    )
+}
+
 /// The SEPT/LEPT pair: Monte-Carlo list-schedule realisations vs the exact
 /// subset-DP value of the same list on the same machines.
 #[allow(clippy::too_many_arguments)]
@@ -354,6 +414,11 @@ pub fn run_scenario(s: &Scenario, budget: &Budget, streams: &RngStreams) -> Scen
             feedback,
         } => run_klimov(s.id, network, order, *feedback, budget, streams),
         Spec::Restless { projects, m } => run_restless(s.id, projects, *m, budget, streams),
+        Spec::Fabric {
+            servers,
+            lambda,
+            mu,
+        } => run_fabric_erlang(s.id, *servers, *lambda, *mu, budget, streams),
         Spec::ListSchedule {
             rates,
             weights,

@@ -104,6 +104,17 @@ pub enum Spec {
         /// Projects activated per period.
         m: usize,
     },
+    /// The service-fabric simulator configured as a single central-queue
+    /// FIFO M/M/c tier, whose tier-0 mean wait must match the Erlang-C
+    /// formula `W_q = C(c, λ/µ) / (cµ - λ)`.
+    Fabric {
+        /// Number of parallel servers `c`.
+        servers: usize,
+        /// Poisson arrival rate `λ`.
+        lambda: f64,
+        /// Per-server exponential service rate `µ`.
+        mu: f64,
+    },
     /// Exponential jobs list-scheduled on identical parallel machines,
     /// checked against the exact subset-DP recursions of
     /// `ss_batch::exact_exp`.
@@ -132,6 +143,7 @@ impl Spec {
             Spec::AchievableLp { .. } => OraclePair::AchievableLpVsCmu,
             Spec::Klimov { .. } => OraclePair::KlimovVsExact,
             Spec::Restless { .. } => OraclePair::WhittleVsDp,
+            Spec::Fabric { .. } => OraclePair::FabricVsErlangC,
             Spec::ListSchedule { .. } => OraclePair::SeptLeptVsDp,
         }
     }

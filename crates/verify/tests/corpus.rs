@@ -13,7 +13,7 @@ use std::collections::HashSet;
 fn check_corpus_passes_and_is_thread_count_invariant() {
     let corpus = generate_corpus(DEFAULT_SEED);
     assert!(
-        corpus.len() >= 55,
+        corpus.len() >= 60,
         "corpus has only {} scenarios",
         corpus.len()
     );
@@ -120,4 +120,24 @@ fn growing_the_corpus_did_not_perturb_the_pre_existing_scenarios() {
         "achievable-lp k=4 rho=0.75 Erlang2+Erlang4+H2s2+H2s4"
     );
     assert_eq!(corpus.scenarios[42].spec.pair(), OraclePair::KlimovVsExact);
+    // PR 6 appended the fabric block after the PR-5 tail.
+    assert_eq!(
+        corpus.scenarios[56].spec.pair(),
+        OraclePair::FabricVsErlangC
+    );
+    assert_eq!(corpus.scenarios[56].label, "fabric-mmc c=2 rho=0.60");
+}
+
+#[test]
+fn the_fabric_erlang_c_block_spans_server_counts_and_loads() {
+    let corpus = generate_corpus(DEFAULT_SEED);
+    let labels: Vec<&str> = corpus
+        .scenarios
+        .iter()
+        .filter(|s| s.spec.pair() == OraclePair::FabricVsErlangC)
+        .map(|s| s.label.as_str())
+        .collect();
+    assert!(labels.len() >= 5, "only {} fabric scenarios", labels.len());
+    assert!(labels.iter().any(|l| l.contains("c=2")));
+    assert!(labels.iter().any(|l| l.contains("c=8")));
 }

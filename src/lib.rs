@@ -26,6 +26,11 @@
 //!   the cµ-rule, the achievable-region LP and adaptive-greedy indices,
 //!   Klimov networks, parallel servers, multistation networks, stability,
 //!   fluid models, polling and setup thresholds).
+//! * [`fabric`] — service-fabric discrete-event simulator: open arrival
+//!   sources (Poisson / MMPP) feeding load-balanced multi-server tiers with
+//!   pluggable index disciplines (FIFO / cµ / Gittins / Whittle), failures,
+//!   bounded queues, retries, and end-to-end RTT percentiles (`fabric`
+//!   binary, `--check` CI gate).
 //! * [`verify`] — analytic-oracle cross-validation: the Monte-Carlo
 //!   simulators checked against the exact solvers (Pollaczek–Khinchine,
 //!   Cobham, conservation laws, joint-MDP value iteration, LP duality)
@@ -59,6 +64,7 @@ pub use ss_bandits as bandits;
 pub use ss_batch as batch;
 pub use ss_core as core;
 pub use ss_distributions as distributions;
+pub use ss_fabric as fabric;
 pub use ss_lp as lp;
 pub use ss_mdp as mdp;
 pub use ss_queueing as queueing;
