@@ -25,6 +25,7 @@
 //! [`workloads`] holds the shared instance builders so that the harness and
 //! the benches exercise exactly the same configurations.
 
+pub mod conformance;
 pub mod experiments;
 pub mod json;
 pub mod sweeps;

@@ -1,0 +1,127 @@
+//! Multi-replica determinism conformance binary.
+//!
+//! ```text
+//! cargo run --release -p ss-conform --bin conform -- --all
+//!     # every manifest target: N replicas each, byte-compared against each
+//!     # other and the committed golden fixture; exits nonzero on any
+//!     # divergence, expectation failure or stale fixture
+//! cargo run --release -p ss-conform --bin conform -- --target verify-check
+//!     # restrict to named targets (repeatable) for local iteration
+//! cargo run --release -p ss-conform --bin conform -- --bless
+//!     # rewrite the golden fixtures from fresh canonical artifacts;
+//!     # refuses to bless a target whose replicas disagree
+//! cargo run --release -p ss-conform --bin conform -- --list
+//!     # print the manifest without running anything
+//! cargo run --release -p ss-conform --bin conform -- --root PATH
+//!     # resolve conform.toml and fixtures under PATH (default: the
+//!     # workspace root this binary was compiled in)
+//! ```
+
+use ss_conform::harness::{run_target, RunMode};
+use ss_conform::targets::render_builtin;
+use ss_conform::{default_root, load_manifest, replica_specs};
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: conform [--all] [--target KEY]... [--bless] [--list] [--root PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut all = false;
+    let mut bless = false;
+    let mut list = false;
+    let mut targets: Vec<String> = Vec::new();
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--bless" => bless = true,
+            "--list" => list = true,
+            "--target" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--target needs a target key"));
+                targets.push(value.clone());
+            }
+            "--root" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--root needs a path"));
+                root = value.into();
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    if all && !targets.is_empty() {
+        usage_error("--all and --target are mutually exclusive");
+    }
+
+    let manifest = match load_manifest(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            std::process::exit(2);
+        }
+    };
+    for key in &targets {
+        if !manifest.targets.iter().any(|t| t.key == *key) {
+            usage_error(&format!(
+                "unknown target {key:?}; known targets: {}",
+                manifest
+                    .targets
+                    .iter()
+                    .map(|t| t.key.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+    }
+    let selected: Vec<_> = manifest
+        .targets
+        .iter()
+        .filter(|t| targets.is_empty() || targets.contains(&t.key))
+        .collect();
+
+    if list {
+        for t in &selected {
+            let replicas: Vec<String> = replica_specs(t).iter().map(|r| r.label()).collect();
+            println!(
+                "{:<20} kind={:<13} replicas=[{}] fixture={}",
+                t.key,
+                t.kind.key(),
+                replicas.join(" "),
+                t.fixture
+            );
+            println!("{:<20} {}", "", t.description);
+        }
+        println!("[{} targets]", selected.len());
+        return;
+    }
+
+    let mode = if bless {
+        RunMode::Bless
+    } else {
+        RunMode::Check
+    };
+    let mut failed = 0usize;
+    for spec in &selected {
+        let outcome = run_target(spec, &|replica| render_builtin(spec, replica), &root, mode);
+        print!("{}", outcome.report());
+        if !outcome.pass() {
+            failed += 1;
+        }
+    }
+    println!(
+        "conform: {}/{} targets conform{}",
+        selected.len() - failed,
+        selected.len(),
+        if bless { " (bless mode)" } else { "" }
+    );
+    if failed > 0 {
+        eprintln!("conform FAILED: {failed} target(s) diverged");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The N-replica conformance runner.
+//!
+//! For one [`TargetSpec`] the harness renders the target's canonical
+//! artifact once per declared replica (each on a dedicated pool of the
+//! declared size, so `threads = [1, 2, 4]` *is* the `SS_THREADS` matrix),
+//! byte-compares every replica against the first, checks the manifest's
+//! structural expectations against the canonical output, and compares (or
+//! blesses) the committed golden fixture.  Any mismatch is localized by
+//! [`crate::divergence`].
+//!
+//! The renderer is an injected closure so the same machinery that runs the
+//! builtin targets ([`crate::targets`]) also runs synthetic targets in
+//! tests — including deliberately nondeterministic ones that prove the
+//! harness catches what it claims to catch.
+
+use crate::divergence::{first_divergence, Divergence};
+use crate::manifest::TargetSpec;
+use ss_sim::pool;
+use ss_verify::CorpusStats;
+use std::path::{Path, PathBuf};
+
+/// One replica's execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// Pool size the replica runs under (the `SS_THREADS` axis).
+    pub threads: usize,
+    /// Harness lanes for targets that take `--jobs` (defaults to `threads`).
+    pub jobs: usize,
+}
+
+impl ReplicaSpec {
+    /// Display label used in divergence reports (`threads=4` or
+    /// `threads=4,jobs=2` when the two differ).
+    pub fn label(&self) -> String {
+        if self.jobs == self.threads {
+            format!("threads={}", self.threads)
+        } else {
+            format!("threads={},jobs={}", self.threads, self.jobs)
+        }
+    }
+}
+
+/// The replica matrix a target declares.
+pub fn replica_specs(spec: &TargetSpec) -> Vec<ReplicaSpec> {
+    spec.threads
+        .iter()
+        .enumerate()
+        .map(|(i, &threads)| ReplicaSpec {
+            threads,
+            jobs: spec.jobs.as_ref().map_or(threads, |j| j[i]),
+        })
+        .collect()
+}
+
+/// Whether the run compares against or rewrites the golden fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Compare the canonical artifact against the committed fixture.
+    Check,
+    /// Rewrite the fixture from the canonical artifact (only when the
+    /// replicas agree and expectations hold — nondeterminism and structural
+    /// regressions must never be blessed).
+    Bless,
+}
+
+/// Outcome of the golden-fixture comparison.
+#[derive(Debug, Clone)]
+pub enum FixtureStatus {
+    /// Committed fixture is byte-identical to the canonical artifact.
+    Match,
+    /// Committed fixture differs; the divergence is localized.
+    Mismatch(Box<Divergence>),
+    /// No fixture on disk yet (run `conform --bless`).
+    Missing(PathBuf),
+    /// Bless mode wrote (or confirmed) the fixture; `changed` says whether
+    /// the bytes on disk actually changed.
+    Blessed {
+        /// Path written.
+        path: PathBuf,
+        /// Whether the write changed the committed bytes.
+        changed: bool,
+    },
+    /// Fixture handling was skipped because the replicas already failed.
+    Skipped,
+    /// The fixture file could not be read or written.
+    IoError(String),
+}
+
+/// Everything the harness learned about one target.
+#[derive(Debug)]
+pub struct TargetOutcome {
+    /// The target key (from the manifest).
+    pub key: String,
+    /// Labels of the replicas that ran, in order.
+    pub replica_labels: Vec<String>,
+    /// Canonical artifact size in bytes (replica 0), when it rendered.
+    pub artifact_bytes: Option<usize>,
+    /// Render errors (panics, failed oracle checks, unknown experiments).
+    pub errors: Vec<String>,
+    /// Cross-replica divergences (replica 0 vs each later replica).
+    pub divergences: Vec<Divergence>,
+    /// Violated manifest expectations.
+    pub expectation_failures: Vec<String>,
+    /// Golden-fixture status.
+    pub fixture: FixtureStatus,
+}
+
+impl TargetOutcome {
+    /// Whether the target conforms (replicas agree, expectations hold,
+    /// fixture matches or was just blessed).
+    pub fn pass(&self) -> bool {
+        self.errors.is_empty()
+            && self.divergences.is_empty()
+            && self.expectation_failures.is_empty()
+            && matches!(
+                self.fixture,
+                FixtureStatus::Match | FixtureStatus::Blessed { .. }
+            )
+    }
+
+    /// Human-readable report block (one line when passing).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let replicas = self.replica_labels.join(" ");
+        if self.pass() {
+            let bytes = self.artifact_bytes.unwrap_or(0);
+            match &self.fixture {
+                FixtureStatus::Blessed { path, changed } => out.push_str(&format!(
+                    "conform: PASS {} [{replicas}] {bytes} bytes — {} {}\n",
+                    self.key,
+                    if *changed { "blessed" } else { "unchanged" },
+                    path.display()
+                )),
+                _ => out.push_str(&format!(
+                    "conform: PASS {} [{replicas}] {bytes} bytes, fixture matches\n",
+                    self.key
+                )),
+            }
+            return out;
+        }
+        out.push_str(&format!("conform: FAIL {} [{replicas}]\n", self.key));
+        for e in &self.errors {
+            out.push_str(&format!("  error: {e}\n"));
+        }
+        for d in &self.divergences {
+            for line in d.report().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        for f in &self.expectation_failures {
+            out.push_str(&format!("  expectation: {f}\n"));
+        }
+        match &self.fixture {
+            FixtureStatus::Mismatch(d) => {
+                out.push_str("  golden fixture diverges from the freshly rendered artifact:\n");
+                for line in d.report().lines() {
+                    out.push_str(&format!("    {line}\n"));
+                }
+                out.push_str(
+                    "  (if the change is intentional, re-bless with `conform --bless` and \
+                     commit the fixture diff)\n",
+                );
+            }
+            FixtureStatus::Missing(path) => out.push_str(&format!(
+                "  missing golden fixture {} — generate it with `conform --bless`\n",
+                path.display()
+            )),
+            FixtureStatus::IoError(e) => out.push_str(&format!("  fixture io error: {e}\n")),
+            FixtureStatus::Skipped => {
+                out.push_str("  fixture not compared (replicas already failed)\n")
+            }
+            FixtureStatus::Match | FixtureStatus::Blessed { .. } => {}
+        }
+        out
+    }
+}
+
+/// Check the manifest's structural expectations against the canonical
+/// artifact text.
+fn check_expectations(spec: &TargetSpec, artifact: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    for needle in &spec.expect_contains {
+        if !artifact.contains(needle.as_str()) {
+            failures.push(format!("artifact does not contain {needle:?}"));
+        }
+    }
+    for pair in &spec.expect_pairs {
+        if !artifact.contains(&format!("PASS {pair}")) {
+            failures.push(format!(
+                "oracle pair {pair:?} has no PASS line — the corpus shrank or the pair regressed"
+            ));
+        }
+    }
+    let trailer = CorpusStats::parse(artifact);
+    let needs_trailer = !spec.expect_pairs.is_empty()
+        || spec.expect_scenarios.is_some()
+        || spec.expect_seed.is_some();
+    match trailer {
+        None if needs_trailer => failures.push(
+            "artifact carries no machine-readable corpus trailer (expected `corpus-trailer: ...`)"
+                .to_string(),
+        ),
+        None => {}
+        Some(stats) => {
+            if !spec.expect_pairs.is_empty() && stats.pairs != spec.expect_pairs.len() {
+                failures.push(format!(
+                    "trailer declares {} oracle pairs, manifest expects {}",
+                    stats.pairs,
+                    spec.expect_pairs.len()
+                ));
+            }
+            if let Some(expected) = spec.expect_scenarios {
+                if stats.scenarios != expected {
+                    failures.push(format!(
+                        "trailer declares {} scenarios, manifest expects {expected} — grow the \
+                         corpus append-only and update conform.toml deliberately",
+                        stats.scenarios
+                    ));
+                }
+            }
+            if let Some(expected) = spec.expect_seed {
+                if stats.seed != expected {
+                    failures.push(format!(
+                        "trailer declares seed {}, manifest expects {expected}",
+                        stats.seed
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Run one target: render every replica, compare, check expectations, and
+/// check or bless the golden fixture.  `render` receives each replica's
+/// spec and must produce the canonical artifact text; it runs on a
+/// dedicated pool of `replica.threads` threads installed by the harness.
+pub fn run_target(
+    spec: &TargetSpec,
+    render: &dyn Fn(&ReplicaSpec) -> Result<String, String>,
+    root: &Path,
+    mode: RunMode,
+) -> TargetOutcome {
+    let replicas = replica_specs(spec);
+    let mut errors = Vec::new();
+    let mut outputs: Vec<Option<String>> = Vec::new();
+    for r in &replicas {
+        match pool::with_threads(r.threads, || render(r)) {
+            Ok(text) => outputs.push(Some(text)),
+            Err(e) => {
+                errors.push(format!("replica {}: {e}", r.label()));
+                outputs.push(None);
+            }
+        }
+    }
+    let mut divergences = Vec::new();
+    if let Some(canonical) = outputs[0].as_deref() {
+        for (i, output) in outputs.iter().enumerate().skip(1) {
+            if let Some(text) = output.as_deref() {
+                if let Some(d) = first_divergence(
+                    &replicas[0].label(),
+                    canonical.as_bytes(),
+                    &replicas[i].label(),
+                    text.as_bytes(),
+                ) {
+                    divergences.push(d);
+                }
+            }
+        }
+    }
+    let expectation_failures = match outputs[0].as_deref() {
+        Some(canonical) => check_expectations(spec, canonical),
+        None => Vec::new(),
+    };
+
+    let healthy = errors.is_empty() && divergences.is_empty() && expectation_failures.is_empty();
+    let fixture_path = root.join(&spec.fixture);
+    let fixture = match (outputs[0].as_deref(), mode) {
+        (None, _) => FixtureStatus::Skipped,
+        // A diverging/failing target is never blessed, and comparing its
+        // artifact against the fixture would only bury the primary signal.
+        (Some(_), _) if !healthy => FixtureStatus::Skipped,
+        (Some(canonical), RunMode::Bless) => {
+            let previous = std::fs::read(&fixture_path).ok();
+            let changed = previous.as_deref() != Some(canonical.as_bytes());
+            let write = || -> std::io::Result<()> {
+                if let Some(parent) = fixture_path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                std::fs::write(&fixture_path, canonical)
+            };
+            if changed {
+                match write() {
+                    Ok(()) => FixtureStatus::Blessed {
+                        path: fixture_path,
+                        changed: true,
+                    },
+                    Err(e) => FixtureStatus::IoError(format!("{}: {e}", spec.fixture)),
+                }
+            } else {
+                FixtureStatus::Blessed {
+                    path: fixture_path,
+                    changed: false,
+                }
+            }
+        }
+        (Some(canonical), RunMode::Check) => match std::fs::read(&fixture_path) {
+            Ok(committed) => match first_divergence(
+                "committed-fixture",
+                &committed,
+                &replicas[0].label(),
+                canonical.as_bytes(),
+            ) {
+                None => FixtureStatus::Match,
+                Some(d) => FixtureStatus::Mismatch(Box::new(d)),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                FixtureStatus::Missing(fixture_path)
+            }
+            Err(e) => FixtureStatus::IoError(format!("{}: {e}", spec.fixture)),
+        },
+    };
+
+    TargetOutcome {
+        key: spec.key.clone(),
+        replica_labels: replicas.iter().map(ReplicaSpec::label).collect(),
+        artifact_bytes: outputs[0].as_ref().map(String::len),
+        errors,
+        divergences,
+        expectation_failures,
+        fixture,
+    }
+}

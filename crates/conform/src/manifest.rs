@@ -1,0 +1,618 @@
+//! The checked-in conformance manifest (`conform.toml`).
+//!
+//! Targets are **declared**, not hard-coded in CI YAML: each `[[target]]`
+//! names a builtin artifact producer ([`TargetKind`]), the replica matrix it
+//! must be byte-identical across, the committed golden fixture, and
+//! structural expectations (e.g. the oracle-pair keys `verify --check` must
+//! report, so corpus shrinkage fails as a manifest violation instead of
+//! relying on a hand-maintained grep loop).
+//!
+//! The workspace builds offline with no TOML crate (see `vendor/README.md`),
+//! so this module parses the small TOML subset the manifest needs: top-level
+//! `key = value` pairs, `[[target]]` array-of-tables headers, strings,
+//! integers, booleans and flat arrays, with `#` comments.  Unknown keys and
+//! kinds are hard errors — the manifest is self-describing and typos must
+//! not silently weaken the gate.
+
+use std::fmt;
+
+/// Supported manifest schema version (bump on incompatible changes).
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// A parsed scalar-or-array TOML value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    List(Vec<Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+            Value::List(_) => "array",
+        }
+    }
+}
+
+/// The builtin artifact producers a target can reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `verify --check`: the oracle cross-validation corpus report.
+    Verify,
+    /// `fabric --check`: the service-fabric scenario-suite report.
+    Fabric,
+    /// The `parallel_replications` workload's per-replication values.
+    Replications,
+    /// The turnpike / heavy-traffic / asymptotic sweep values.
+    Sweeps,
+    /// An `experiments` harness subset (wall-clock lines stripped).
+    Experiments,
+}
+
+impl TargetKind {
+    /// Parse a manifest `kind` string.
+    pub fn from_key(key: &str) -> Option<TargetKind> {
+        match key {
+            "verify" => Some(TargetKind::Verify),
+            "fabric" => Some(TargetKind::Fabric),
+            "replications" => Some(TargetKind::Replications),
+            "sweeps" => Some(TargetKind::Sweeps),
+            "experiments" => Some(TargetKind::Experiments),
+            _ => None,
+        }
+    }
+
+    /// The manifest `kind` string.
+    pub fn key(&self) -> &'static str {
+        match self {
+            TargetKind::Verify => "verify",
+            TargetKind::Fabric => "fabric",
+            TargetKind::Replications => "replications",
+            TargetKind::Sweeps => "sweeps",
+            TargetKind::Experiments => "experiments",
+        }
+    }
+}
+
+impl fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One declared conformance target.
+#[derive(Debug, Clone)]
+pub struct TargetSpec {
+    /// Unique target key (`--target` selector, report label).
+    pub key: String,
+    /// Which builtin artifact producer to run.
+    pub kind: TargetKind,
+    /// Human description for `--list`.
+    pub description: String,
+    /// Pool sizes of the replicas (the `SS_THREADS` matrix).
+    pub threads: Vec<usize>,
+    /// Optional per-replica `--jobs` values (defaults to `threads`);
+    /// meaningful for [`TargetKind::Experiments`].
+    pub jobs: Option<Vec<usize>>,
+    /// Repo-relative path of the committed golden fixture.
+    pub fixture: String,
+    /// Experiment ids for [`TargetKind::Experiments`].
+    pub experiments: Vec<String>,
+    /// Replication count for [`TargetKind::Replications`].
+    pub replications: Option<usize>,
+    /// Oracle-pair keys that must each appear as a `PASS <key>` line
+    /// ([`TargetKind::Verify`] only).
+    pub expect_pairs: Vec<String>,
+    /// Expected corpus scenario count from the machine-readable trailer.
+    pub expect_scenarios: Option<usize>,
+    /// Expected corpus master seed from the machine-readable trailer.
+    pub expect_seed: Option<u64>,
+    /// Substrings the canonical artifact must contain (any kind).
+    pub expect_contains: Vec<String>,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Declared targets in manifest order.
+    pub targets: Vec<TargetSpec>,
+}
+
+impl Manifest {
+    /// Parse and validate manifest text.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut schema: Option<i64> = None;
+        // (key, value, line number) per table; table 0 is the top level.
+        let mut tables: Vec<Vec<(String, Value, usize)>> = vec![Vec::new()];
+        let mut in_target = false;
+        for (lineno, line) in logical_lines(text)? {
+            let line = line.as_str();
+            if line == "[[target]]" {
+                tables.push(Vec::new());
+                in_target = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "line {lineno}: unsupported table header {line:?} (only [[target]])"
+                ));
+            }
+            let (key, value) =
+                parse_assignment(line).map_err(|e| format!("line {lineno}: {e} in {line:?}"))?;
+            let table = if in_target {
+                tables.last_mut().expect("a [[target]] table is open")
+            } else {
+                &mut tables[0]
+            };
+            if table.iter().any(|(k, _, _)| *k == key) {
+                return Err(format!("line {lineno}: duplicate key {key:?}"));
+            }
+            if !in_target && key == "schema" {
+                match value {
+                    Value::Int(v) => schema = Some(v),
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: schema must be an integer, got {}",
+                            other.type_name()
+                        ))
+                    }
+                }
+                continue;
+            }
+            table.push((key, value, lineno));
+        }
+        match schema {
+            Some(SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "unsupported manifest schema {v} (this build understands {SCHEMA_VERSION})"
+                ))
+            }
+            None => return Err("manifest is missing the top-level `schema` key".to_string()),
+        }
+        if let Some((key, _, lineno)) = tables[0].first() {
+            return Err(format!(
+                "line {lineno}: unknown top-level key {key:?} (only `schema` and [[target]] tables)"
+            ));
+        }
+        let targets: Vec<TargetSpec> = tables[1..]
+            .iter()
+            .map(|t| TargetSpec::from_table(t))
+            .collect::<Result<_, _>>()?;
+        if targets.is_empty() {
+            return Err("manifest declares no [[target]] tables".to_string());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &targets {
+            if !seen.insert(t.key.clone()) {
+                return Err(format!("duplicate target key {:?}", t.key));
+            }
+        }
+        Ok(Manifest { targets })
+    }
+}
+
+impl TargetSpec {
+    fn from_table(table: &[(String, Value, usize)]) -> Result<TargetSpec, String> {
+        let mut key = None;
+        let mut kind = None;
+        let mut description = None;
+        let mut threads = None;
+        let mut jobs = None;
+        let mut fixture = None;
+        let mut experiments = Vec::new();
+        let mut replications = None;
+        let mut expect_pairs = Vec::new();
+        let mut expect_scenarios = None;
+        let mut expect_seed = None;
+        let mut expect_contains = Vec::new();
+        for (k, v, lineno) in table {
+            let fail = |what: &str| format!("line {lineno}: {k} must be {what}");
+            match k.as_str() {
+                "key" => key = Some(as_string(v).ok_or_else(|| fail("a string"))?),
+                "kind" => {
+                    let s = as_string(v).ok_or_else(|| fail("a string"))?;
+                    kind = Some(TargetKind::from_key(&s).ok_or_else(|| {
+                        format!(
+                            "line {lineno}: unknown kind {s:?} (known: verify fabric \
+                             replications sweeps experiments)"
+                        )
+                    })?);
+                }
+                "description" => description = Some(as_string(v).ok_or_else(|| fail("a string"))?),
+                "threads" => {
+                    threads = Some(
+                        as_usize_list(v)
+                            .ok_or_else(|| fail("a non-empty array of integers >= 1"))?,
+                    )
+                }
+                "jobs" => {
+                    jobs = Some(
+                        as_usize_list(v)
+                            .ok_or_else(|| fail("a non-empty array of integers >= 1"))?,
+                    )
+                }
+                "fixture" => fixture = Some(as_string(v).ok_or_else(|| fail("a string"))?),
+                "experiments" => {
+                    experiments = as_string_list(v).ok_or_else(|| fail("an array of strings"))?
+                }
+                "replications" => {
+                    replications = Some(as_usize(v).ok_or_else(|| fail("an integer >= 1"))?)
+                }
+                "expect-pairs" => {
+                    expect_pairs = as_string_list(v).ok_or_else(|| fail("an array of strings"))?
+                }
+                "expect-scenarios" => {
+                    expect_scenarios = Some(as_usize(v).ok_or_else(|| fail("an integer >= 1"))?)
+                }
+                "expect-seed" => match v {
+                    Value::Int(i) if *i >= 0 => expect_seed = Some(*i as u64),
+                    Value::Str(s) => {
+                        // Seeds are often written in hex for legibility.
+                        let trimmed = s.trim_start_matches("0x");
+                        expect_seed = Some(u64::from_str_radix(trimmed, 16).map_err(|_| {
+                            format!("line {lineno}: expect-seed string must be hex, got {s:?}")
+                        })?);
+                    }
+                    _ => return Err(fail("a non-negative integer or a hex string")),
+                },
+                "expect-contains" => {
+                    expect_contains =
+                        as_string_list(v).ok_or_else(|| fail("an array of strings"))?
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown target key {other:?} — the manifest is \
+                         self-describing; add support in ss-conform before using new keys"
+                    ))
+                }
+            }
+        }
+        let first_line = table.first().map(|(_, _, l)| *l).unwrap_or(0);
+        let key = key.ok_or(format!("target at line {first_line}: missing `key`"))?;
+        let require = |name: &str, ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("target {key:?}: missing `{name}`"))
+            }
+        };
+        require("kind", kind.is_some())?;
+        require("description", description.is_some())?;
+        require("threads", threads.is_some())?;
+        require("fixture", fixture.is_some())?;
+        let kind = kind.expect("checked above");
+        let threads: Vec<usize> = threads.expect("checked above");
+        if threads.len() < 2 {
+            return Err(format!(
+                "target {key:?}: needs at least 2 replicas to compare (got {})",
+                threads.len()
+            ));
+        }
+        if let Some(jobs) = &jobs {
+            if jobs.len() != threads.len() {
+                return Err(format!(
+                    "target {key:?}: `jobs` ({}) and `threads` ({}) must have equal length",
+                    jobs.len(),
+                    threads.len()
+                ));
+            }
+        }
+        if kind == TargetKind::Experiments && experiments.is_empty() {
+            return Err(format!(
+                "target {key:?}: kind = \"experiments\" requires a non-empty `experiments` list"
+            ));
+        }
+        if kind == TargetKind::Replications && replications.is_none() {
+            return Err(format!(
+                "target {key:?}: kind = \"replications\" requires `replications`"
+            ));
+        }
+        if !expect_pairs.is_empty() && kind != TargetKind::Verify {
+            return Err(format!(
+                "target {key:?}: `expect-pairs` only applies to kind = \"verify\""
+            ));
+        }
+        Ok(TargetSpec {
+            key,
+            kind,
+            description: description.expect("checked above"),
+            threads,
+            jobs,
+            fixture: fixture.expect("checked above"),
+            experiments,
+            replications,
+            expect_pairs,
+            expect_scenarios,
+            expect_seed,
+            expect_contains,
+        })
+    }
+}
+
+/// Net `[`/`]` nesting change of a line, ignoring brackets inside strings.
+fn bracket_delta(line: &str) -> i64 {
+    let mut delta = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => delta += 1,
+            ']' if !in_string => delta -= 1,
+            _ => escaped = false,
+        }
+    }
+    delta
+}
+
+/// Comment-stripped, trimmed logical lines with their starting line number.
+/// Physical lines are joined while an array `[` remains open, so manifests
+/// can format long arrays one element per line.
+fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, String> {
+    let mut out = Vec::new();
+    let mut pending: Option<(usize, String, i64)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let delta = bracket_delta(line);
+        match pending.take() {
+            None if delta > 0 => pending = Some((lineno, line.to_string(), delta)),
+            None => out.push((lineno, line.to_string())),
+            Some((start, mut acc, depth)) => {
+                acc.push(' ');
+                acc.push_str(line);
+                let depth = depth + delta;
+                if depth > 0 {
+                    pending = Some((start, acc, depth));
+                } else {
+                    out.push((start, acc));
+                }
+            }
+        }
+    }
+    if let Some((start, _, _)) = pending {
+        return Err(format!("line {start}: unclosed `[` in array value"));
+    }
+    Ok(out)
+}
+
+/// Strip a `#` comment not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parse `key = value`.
+fn parse_assignment(line: &str) -> Result<(String, Value), String> {
+    let (key, rest) = line
+        .split_once('=')
+        .ok_or("expected `key = value`".to_string())?;
+    let key = key.trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(format!("invalid key {key:?}"));
+    }
+    let (value, rest) = parse_value(rest.trim())?;
+    if !rest.trim().is_empty() {
+        return Err(format!("trailing content {:?} after value", rest.trim()));
+    }
+    Ok((key.to_string(), value))
+}
+
+/// Parse one value; returns it and the unconsumed remainder.
+fn parse_value(text: &str) -> Result<(Value, &str), String> {
+    let text = text.trim_start();
+    if let Some(rest) = text.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Value::Str(out), &rest[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    other => {
+                        return Err(format!(
+                            "unsupported string escape {:?}",
+                            other.map(|o| o.1)
+                        ))
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        return Err("unterminated string".to_string());
+    }
+    if let Some(mut rest) = text.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((Value::List(items), after));
+            }
+            let (item, after) = parse_value(rest)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with(']') {
+                return Err("expected `,` or `]` in array".to_string());
+            }
+        }
+    }
+    if let Some(rest) = text.strip_prefix("true") {
+        return Ok((Value::Bool(true), rest));
+    }
+    if let Some(rest) = text.strip_prefix("false") {
+        return Ok((Value::Bool(false), rest));
+    }
+    let end = text
+        .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '_'))
+        .unwrap_or(text.len());
+    let token = &text[..end];
+    let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+    match cleaned.parse::<i64>() {
+        Ok(i) => Ok((Value::Int(i), &text[end..])),
+        Err(_) => Err(format!("cannot parse value starting at {text:?}")),
+    }
+}
+
+fn as_string(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn as_usize(v: &Value) -> Option<usize> {
+    match v {
+        Value::Int(i) if *i >= 1 => Some(*i as usize),
+        _ => None,
+    }
+}
+
+fn as_usize_list(v: &Value) -> Option<Vec<usize>> {
+    match v {
+        Value::List(items) if !items.is_empty() => items.iter().map(as_usize).collect(),
+        _ => None,
+    }
+}
+
+fn as_string_list(v: &Value) -> Option<Vec<String>> {
+    match v {
+        Value::List(items) => items.iter().map(as_string).collect(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        schema = 1
+
+        [[target]] # the one target
+        key = "demo"
+        kind = "sweeps"
+        description = "demo target" # trailing comment
+        threads = [1, 2, 4]
+        fixture = "fixtures/conform/demo.txt"
+        expect-contains = ["sweep turnpike"]
+    "#;
+
+    #[test]
+    fn parses_a_minimal_manifest() {
+        let m = Manifest::parse(MINIMAL).unwrap();
+        assert_eq!(m.targets.len(), 1);
+        let t = &m.targets[0];
+        assert_eq!(t.key, "demo");
+        assert_eq!(t.kind, TargetKind::Sweeps);
+        assert_eq!(t.threads, vec![1, 2, 4]);
+        assert_eq!(t.jobs, None);
+        assert_eq!(t.expect_contains, vec!["sweep turnpike".to_string()]);
+    }
+
+    #[test]
+    fn multi_line_arrays_join_into_one_logical_line() {
+        let text = MINIMAL.replace(
+            "expect-contains = [\"sweep turnpike\"]",
+            "expect-contains = [\n  \"sweep turnpike\", # per-line comment\n  \"sweep [x]\",\n]",
+        );
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(
+            m.targets[0].expect_contains,
+            vec!["sweep turnpike".to_string(), "sweep [x]".to_string()]
+        );
+        let unclosed = MINIMAL.replace(
+            "expect-contains = [\"sweep turnpike\"]",
+            "expect-contains = [\n  \"sweep turnpike\",",
+        );
+        assert!(Manifest::parse(&unclosed)
+            .unwrap_err()
+            .contains("unclosed `[`"));
+    }
+
+    #[test]
+    fn hex_seed_strings_parse() {
+        let text = MINIMAL.replace("kind = \"sweeps\"", "kind = \"verify\"")
+            + "\nexpect-seed = \"0xC0DE5EED\"\n";
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.targets[0].expect_seed, Some(0xC0DE_5EED));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_kinds_and_schema() {
+        assert!(
+            Manifest::parse(&MINIMAL.replace("schema = 1", "schema = 2"))
+                .unwrap_err()
+                .contains("unsupported manifest schema")
+        );
+        assert!(
+            Manifest::parse(&MINIMAL.replace("kind = \"sweeps\"", "kind = \"nope\""))
+                .unwrap_err()
+                .contains("unknown kind")
+        );
+        assert!(Manifest::parse(&format!("{MINIMAL}\ntypo-key = 3\n"))
+            .unwrap_err()
+            .contains("unknown target key"));
+        assert!(Manifest::parse("")
+            .unwrap_err()
+            .contains("missing the top-level `schema`"));
+    }
+
+    #[test]
+    fn rejects_structural_mistakes() {
+        // Single replica: nothing to compare.
+        assert!(
+            Manifest::parse(&MINIMAL.replace("threads = [1, 2, 4]", "threads = [1]"))
+                .unwrap_err()
+                .contains("at least 2 replicas")
+        );
+        // jobs/threads length mismatch.
+        assert!(Manifest::parse(&format!("{MINIMAL}\njobs = [1]\n"))
+            .unwrap_err()
+            .contains("equal length"));
+        // Duplicate keys within a table.
+        assert!(Manifest::parse(&format!("{MINIMAL}\nkey = \"again\"\n"))
+            .unwrap_err()
+            .contains("duplicate key"));
+        // expect-pairs on a non-verify target.
+        assert!(
+            Manifest::parse(&format!("{MINIMAL}\nexpect-pairs = [\"x\"]\n"))
+                .unwrap_err()
+                .contains("only applies to kind = \"verify\"")
+        );
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let text = MINIMAL.replace("demo target", "has a # inside");
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.targets[0].description, "has a # inside");
+    }
+}

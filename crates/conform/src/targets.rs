@@ -1,0 +1,69 @@
+//! Builtin artifact producers — one per [`TargetKind`].
+//!
+//! Each renderer produces, **in process**, exactly the deterministic text
+//! the corresponding check binary prints (shared rendering functions in the
+//! owning crates guarantee this), using whatever pool the harness installed
+//! for the replica.  Running in process keeps the conformance matrix one
+//! compile + one process instead of 3×5 `cargo run` invocations, and makes
+//! the replica pool size exact rather than inherited through an env var.
+//!
+//! A panic inside a target is converted into a render error so one broken
+//! target cannot take down the whole conformance run.
+
+use crate::harness::ReplicaSpec;
+use crate::manifest::{TargetKind, TargetSpec};
+use ss_bench::conformance::{
+    harness_subset_report, replication_values_report, sweep_values_report,
+};
+use ss_fabric::scenarios as fabric_scenarios;
+use ss_verify::run::render_check_report;
+use ss_verify::scenario::Budget as VerifyBudget;
+use ss_verify::{generate_corpus, run_corpus, summarize};
+
+/// Render the canonical artifact for a builtin target kind.
+///
+/// The caller (the harness) has already installed the replica's pool;
+/// renderers must not install another one around their parallel fan-outs —
+/// except where the real binary does (the experiments harness installs a
+/// `--jobs` pool itself, which is exactly the behaviour under test).
+pub fn render_builtin(spec: &TargetSpec, replica: &ReplicaSpec) -> Result<String, String> {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match spec.kind {
+        TargetKind::Verify => {
+            let corpus = generate_corpus(spec.expect_seed.unwrap_or(ss_verify::DEFAULT_SEED));
+            let reports = run_corpus(&corpus, &VerifyBudget::check());
+            let (passed, total) = summarize(&reports);
+            let report = render_check_report(&corpus, &reports);
+            if passed != total {
+                // A FAIL line is deterministic and would byte-diff clean
+                // across replicas; correctness failures must fail the
+                // target, not hide inside a "conforming" artifact.
+                return Err(format!(
+                    "{} oracle checks FAILED (report follows)\n{report}",
+                    total - passed
+                ));
+            }
+            Ok(report)
+        }
+        TargetKind::Fabric => {
+            let seed = spec.expect_seed.unwrap_or(fabric_scenarios::DEFAULT_SEED);
+            let results = fabric_scenarios::run_suite(seed, &fabric_scenarios::Budget::check());
+            Ok(fabric_scenarios::render_suite_report(seed, &results))
+        }
+        TargetKind::Replications => Ok(replication_values_report(
+            spec.replications.expect("manifest validation requires it"),
+        )),
+        TargetKind::Sweeps => Ok(sweep_values_report()),
+        TargetKind::Experiments => harness_subset_report(&spec.experiments, replica.jobs),
+    }));
+    match run {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("target panicked: {msg}"))
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Subsystem-level acceptance tests: the checked-in manifest, the
+//! fixture-compare/bless lifecycle, and the end-to-end guarantee that an
+//! injected nondeterminism is caught and localized through the full
+//! [`run_target`] path.
+
+use ss_conform::harness::{run_target, FixtureStatus, RunMode};
+use ss_conform::{load_manifest, replica_specs, RootCause, TargetKind, TargetSpec};
+use ss_verify::OraclePair;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// A scratch root that cleans itself up (fixture round-trip tests write
+/// real files; they must not touch the repo's committed fixtures).
+struct ScratchRoot(PathBuf);
+
+impl ScratchRoot {
+    fn new(tag: &str) -> ScratchRoot {
+        let dir = std::env::temp_dir().join(format!("ss-conform-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        ScratchRoot(dir)
+    }
+}
+
+impl Drop for ScratchRoot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn synthetic_spec(key: &str) -> TargetSpec {
+    TargetSpec {
+        key: key.to_string(),
+        // The kind is irrelevant when the renderer is injected; Sweeps is
+        // the one with no extra required fields.
+        kind: TargetKind::Sweeps,
+        description: "synthetic test target".to_string(),
+        threads: vec![1, 2, 4],
+        jobs: None,
+        fixture: format!("fixtures/conform/{key}.txt"),
+        experiments: Vec::new(),
+        replications: None,
+        expect_pairs: Vec::new(),
+        expect_scenarios: None,
+        expect_seed: None,
+        expect_contains: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------- manifest
+
+#[test]
+fn committed_manifest_parses_and_matches_the_oracle_corpus() {
+    let manifest = load_manifest(&repo_root()).expect("conform.toml parses");
+    assert_eq!(manifest.targets.len(), 5, "five conformance targets");
+
+    let verify = manifest
+        .targets
+        .iter()
+        .find(|t| t.kind == TargetKind::Verify)
+        .expect("a verify target");
+    // The manifest's pair list is exactly the oracle pairs the corpus
+    // implements — a pair added to the code without a manifest edit (or
+    // vice versa) fails here before CI even runs the corpus.
+    let mut declared: Vec<&str> = verify.expect_pairs.iter().map(String::as_str).collect();
+    let mut implemented: Vec<&str> = OraclePair::ALL.iter().map(|p| p.key()).collect();
+    declared.sort_unstable();
+    implemented.sort_unstable();
+    assert_eq!(declared, implemented);
+    assert_eq!(verify.expect_seed, Some(ss_verify::DEFAULT_SEED));
+
+    for t in &manifest.targets {
+        // Replica matrices span the documented SS_THREADS axis.
+        assert!(t.threads.contains(&1), "{}: threads include 1", t.key);
+        assert!(t.threads.len() >= 2, "{}: at least two replicas", t.key);
+        // Every declared fixture is committed.
+        assert!(
+            repo_root().join(&t.fixture).is_file(),
+            "{}: fixture {} is committed (run `conform --bless`)",
+            t.key,
+            t.fixture
+        );
+    }
+}
+
+// ------------------------------------------------- injected nondeterminism
+
+#[test]
+fn injected_timestamp_nondeterminism_is_caught_and_localized() {
+    let spec = synthetic_spec("injected-timestamp");
+    // Deterministic stand-in for a wall clock: each replica renders a
+    // different "epoch" value, exactly what a real clock leak produces.
+    let calls = AtomicUsize::new(0);
+    let render = move |_: &ss_conform::ReplicaSpec| {
+        let fake_epoch = 1_700_000_000 + calls.fetch_add(1, Ordering::SeqCst);
+        Ok(format!(
+            "stable line A\nelapsed {fake_epoch} seconds\nstable line B\n"
+        ))
+    };
+    let scratch = ScratchRoot::new("injected");
+    let outcome = run_target(&spec, &render, &scratch.0, RunMode::Check);
+
+    assert!(!outcome.pass(), "nondeterminism must fail the target");
+    assert_eq!(
+        outcome.divergences.len(),
+        2,
+        "replica 0 vs replicas 1 and 2"
+    );
+    for d in &outcome.divergences {
+        // The replicas differ in the last digits of the epoch token.
+        let base = "stable line A\nelapsed 170000000";
+        assert!(
+            d.offset >= base.len() - 2 && d.offset <= base.len() + 1,
+            "offset {} localizes the epoch digits",
+            d.offset
+        );
+        assert_eq!(d.cause, RootCause::Timestamp, "{:?}", d.cause);
+        assert!(d.left_context.contains('|'), "hex context rendered");
+    }
+    assert_eq!(
+        outcome.replica_labels,
+        ["threads=1", "threads=2", "threads=4"]
+    );
+    // The report is what CI prints: it must carry the hint.
+    assert!(
+        outcome.report().contains("timestamp leakage"),
+        "{}",
+        outcome.report()
+    );
+    // A broken target is never compared against (or blessed into) fixtures.
+    assert!(matches!(outcome.fixture, FixtureStatus::Skipped));
+}
+
+#[test]
+fn bless_refuses_to_bless_diverging_replicas() {
+    let spec = synthetic_spec("refuse-bless");
+    let calls = AtomicUsize::new(0);
+    let render = move |_: &ss_conform::ReplicaSpec| {
+        Ok(format!("value {}\n", calls.fetch_add(1, Ordering::SeqCst)))
+    };
+    let scratch = ScratchRoot::new("refuse");
+    let outcome = run_target(&spec, &render, &scratch.0, RunMode::Bless);
+    assert!(!outcome.pass());
+    assert!(matches!(outcome.fixture, FixtureStatus::Skipped));
+    assert!(
+        !scratch.0.join(&spec.fixture).exists(),
+        "no fixture written for a diverging target"
+    );
+}
+
+// ------------------------------------------------------- fixture lifecycle
+
+fn deterministic_render(_: &ss_conform::ReplicaSpec) -> Result<String, String> {
+    Ok("artifact line 1\nartifact line 2\n".to_string())
+}
+
+#[test]
+fn fixture_missing_then_bless_then_match_round_trip() {
+    let spec = synthetic_spec("round-trip");
+    let scratch = ScratchRoot::new("roundtrip");
+    let root: &Path = &scratch.0;
+
+    // 1. No fixture yet: check mode fails with Missing.
+    let outcome = run_target(&spec, &deterministic_render, root, RunMode::Check);
+    assert!(!outcome.pass());
+    assert!(matches!(outcome.fixture, FixtureStatus::Missing(_)));
+    assert!(outcome.report().contains("--bless"), "{}", outcome.report());
+
+    // 2. Bless writes it.
+    let outcome = run_target(&spec, &deterministic_render, root, RunMode::Bless);
+    assert!(outcome.pass());
+    assert!(matches!(
+        outcome.fixture,
+        FixtureStatus::Blessed { changed: true, .. }
+    ));
+
+    // 3. Check now passes; re-bless is a no-op (the CI bless-drift gate).
+    let outcome = run_target(&spec, &deterministic_render, root, RunMode::Check);
+    assert!(outcome.pass(), "{}", outcome.report());
+    assert!(matches!(outcome.fixture, FixtureStatus::Match));
+    let outcome = run_target(&spec, &deterministic_render, root, RunMode::Bless);
+    assert!(matches!(
+        outcome.fixture,
+        FixtureStatus::Blessed { changed: false, .. }
+    ));
+}
+
+#[test]
+fn stale_fixture_is_a_localized_mismatch() {
+    let spec = synthetic_spec("stale");
+    let scratch = ScratchRoot::new("stale");
+    let path = scratch.0.join(&spec.fixture);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, "artifact line 1\nartifact line 2 OLD\n").unwrap();
+
+    let outcome = run_target(&spec, &deterministic_render, &scratch.0, RunMode::Check);
+    assert!(!outcome.pass());
+    let FixtureStatus::Mismatch(d) = &outcome.fixture else {
+        panic!("expected Mismatch, got {:?}", outcome.fixture);
+    };
+    assert_eq!(d.left_label, "committed-fixture");
+    assert_eq!(
+        d.offset,
+        "artifact line 1\nartifact line 2".len(),
+        "divergence at the edit"
+    );
+    assert!(
+        outcome.report().contains("re-bless"),
+        "{}",
+        outcome.report()
+    );
+}
+
+// ------------------------------------------------------------ replica axes
+
+#[test]
+fn replica_specs_expand_threads_and_jobs() {
+    let mut spec = synthetic_spec("axes");
+    spec.jobs = Some(vec![1, 2, 8]);
+    let replicas = replica_specs(&spec);
+    assert_eq!(replicas.len(), 3);
+    assert_eq!(replicas[2].threads, 4);
+    assert_eq!(replicas[2].jobs, 8);
+    assert_eq!(replicas[2].label(), "threads=4,jobs=8");
+    // jobs == threads collapses to the short label.
+    assert_eq!(replicas[0].label(), "threads=1");
+}

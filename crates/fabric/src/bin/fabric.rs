@@ -21,7 +21,7 @@
 //! `(FABRIC_SIM_STREAM, scenario · 2^16 + rep)` and cells aggregate in
 //! suite order.
 
-use ss_fabric::scenarios::{run_suite, scenario_list, Budget, DEFAULT_SEED};
+use ss_fabric::scenarios::{render_suite_report, run_suite, scenario_list, Budget, DEFAULT_SEED};
 use ss_fabric::FabricReport;
 use ss_sim::json;
 
@@ -133,15 +133,9 @@ fn main() {
     };
     let wall = start.elapsed();
 
-    for (name, report) in &results {
-        for line in report.report_lines(name) {
-            println!("{line}");
-        }
-    }
-    println!(
-        "fabric: {} scenarios simulated (seed {seed})",
-        results.len()
-    );
+    // Rendered by the same function the ss-conform subsystem replays across
+    // thread counts (`ss_fabric::scenarios::render_suite_report`).
+    print!("{}", render_suite_report(seed, &results));
     if !check_mode {
         // Wall-clock is informational and varies run to run; keep it out of
         // the deterministic --check output that CI diffs across SS_THREADS.

@@ -42,5 +42,7 @@ pub use config::{
     RetryPolicy, TierConfig,
 };
 pub use metrics::{FabricReport, TierReport};
-pub use scenarios::{aggregate, run_suite, scenario_list, suite_lines, Budget, DEFAULT_SEED};
+pub use scenarios::{
+    aggregate, render_suite_report, run_suite, scenario_list, suite_lines, Budget, DEFAULT_SEED,
+};
 pub use sim::{replication_seed, run_fabric, run_fabric_with, FABRIC_SIM_STREAM};

@@ -345,3 +345,22 @@ pub fn suite_lines(seed: u64, budget: &Budget) -> Vec<String> {
         .flat_map(|(name, report)| report.report_lines(name))
         .collect()
 }
+
+/// Render already-computed suite results exactly as the `fabric` binary
+/// prints them (per-scenario report blocks plus the footer, no wall-clock).
+/// Shared with the `ss-conform` subsystem so the binary's `--check` output
+/// and the conformance replicas can never drift apart.
+pub fn render_suite_report(seed: u64, results: &[(String, FabricReport)]) -> String {
+    let mut out = String::new();
+    for (name, report) in results {
+        for line in report.report_lines(name) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "fabric: {} scenarios simulated (seed {seed})\n",
+        results.len()
+    ));
+    out
+}

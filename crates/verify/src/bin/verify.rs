@@ -29,7 +29,7 @@
 use ss_sim::json;
 use ss_verify::corpus::generate_corpus;
 use ss_verify::oracle::OraclePair;
-use ss_verify::run::{format_report_line, run_corpus, summarize, ScenarioReport};
+use ss_verify::run::{render_check_report, run_corpus, summarize, ScenarioReport};
 use ss_verify::scenario::Budget;
 use ss_verify::DEFAULT_SEED;
 
@@ -169,11 +169,11 @@ fn main() {
     };
     let wall = start.elapsed();
 
-    for r in &reports {
-        println!("{}", format_report_line(r));
-    }
+    // Report lines + summary + machine-readable corpus trailer, rendered by
+    // the same function the ss-conform subsystem replays across thread
+    // counts (`ss_verify::run::render_check_report`).
+    print!("{}", render_check_report(&corpus, &reports));
     let (passed, total) = summarize(&reports);
-    println!("verify: {passed}/{total} oracle checks passed (seed {seed})");
     if !check_mode {
         // Wall-clock is informational and varies run to run; keep it out of
         // the deterministic --check output that CI diffs across SS_THREADS.

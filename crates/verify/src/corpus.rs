@@ -172,6 +172,74 @@ impl Corpus {
     pub fn is_empty(&self) -> bool {
         self.scenarios.is_empty()
     }
+
+    /// The machine-readable shape of this corpus — the one source of truth
+    /// the `verify --check` trailer, the conformance manifest expectations
+    /// and the corpus-pin tests all read.
+    pub fn stats(&self) -> CorpusStats {
+        let pairs: std::collections::HashSet<_> =
+            self.scenarios.iter().map(|s| s.spec.pair()).collect();
+        CorpusStats {
+            pairs: pairs.len(),
+            scenarios: self.scenarios.len(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Distinct-oracle-pair count, scenario count and master seed of a corpus,
+/// rendered by `verify --check` as a single trailer line so downstream
+/// consumers (the `ss-conform` subsystem, the corpus-pin tests) parse one
+/// declared value instead of scraping `PASS <pair>` report lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Number of distinct oracle pairs the scenarios cover.
+    pub pairs: usize,
+    /// Total scenario count.
+    pub scenarios: usize,
+    /// Master seed the corpus was generated from.
+    pub seed: u64,
+}
+
+impl CorpusStats {
+    /// The fixed prefix of the trailer line.
+    pub const TRAILER_PREFIX: &'static str = "corpus-trailer:";
+
+    /// Render the machine-readable trailer line (no newline).
+    pub fn trailer(&self) -> String {
+        format!(
+            "{} pairs={} scenarios={} seed={}",
+            Self::TRAILER_PREFIX,
+            self.pairs,
+            self.scenarios,
+            self.seed
+        )
+    }
+
+    /// Parse the first trailer line found in `text` (a full report or a
+    /// single line).  Returns `None` when no well-formed trailer is present.
+    pub fn parse(text: &str) -> Option<CorpusStats> {
+        let line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with(Self::TRAILER_PREFIX))?;
+        let mut pairs = None;
+        let mut scenarios = None;
+        let mut seed = None;
+        for field in line.trim_start()[Self::TRAILER_PREFIX.len()..].split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "pairs" => pairs = value.parse::<usize>().ok(),
+                "scenarios" => scenarios = value.parse::<usize>().ok(),
+                "seed" => seed = value.parse::<u64>().ok(),
+                _ => return None,
+            }
+        }
+        Some(CorpusStats {
+            pairs: pairs?,
+            scenarios: scenarios?,
+            seed: seed?,
+        })
+    }
 }
 
 /// Generate the full cross-validation corpus for `seed`.
@@ -463,6 +531,18 @@ mod tests {
                 assert!(rho < 0.95, "{}: unstable rho {rho}", s.label);
             }
         }
+    }
+
+    #[test]
+    fn trailer_round_trips_through_parse() {
+        let stats = generate_corpus(9).stats();
+        assert_eq!(CorpusStats::parse(&stats.trailer()), Some(stats));
+        // Embedded in a report, surrounded by other lines.
+        let report = format!("#0 PASS ...\n{}\nextra\n", stats.trailer());
+        assert_eq!(CorpusStats::parse(&report), Some(stats));
+        // Malformed trailers must not parse.
+        assert_eq!(CorpusStats::parse("corpus-trailer: pairs=x"), None);
+        assert_eq!(CorpusStats::parse("no trailer here"), None);
     }
 
     #[test]

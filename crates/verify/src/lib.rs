@@ -50,9 +50,11 @@ pub mod oracle;
 pub mod run;
 pub mod scenario;
 
-pub use corpus::{generate_corpus, Corpus};
+pub use corpus::{generate_corpus, Corpus, CorpusStats};
 pub use oracle::{OraclePair, Tolerance, Verdict};
-pub use run::{format_report_line, run_corpus, run_scenario, summarize, ScenarioReport};
+pub use run::{
+    format_report_line, render_check_report, run_corpus, run_scenario, summarize, ScenarioReport,
+};
 pub use scenario::{Budget, QueueMode, Scenario, Spec};
 
 /// Master seed of the committed corpus (CI and the tier-1 test run it).

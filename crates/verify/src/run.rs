@@ -473,6 +473,28 @@ pub fn summarize(reports: &[ScenarioReport]) -> (usize, usize) {
     )
 }
 
+/// The full deterministic check report: one line per scenario, the summary
+/// line, and the machine-readable [`CorpusStats`](crate::corpus::CorpusStats)
+/// trailer.  This is byte-for-byte what `verify --check` prints (the full-
+/// budget run appends a wall-clock line on top) and what the `ss-conform`
+/// subsystem replays across thread counts, so the binary and the
+/// conformance harness can never drift apart.
+pub fn render_check_report(corpus: &Corpus, reports: &[ScenarioReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&format_report_line(r));
+        out.push('\n');
+    }
+    let (passed, total) = summarize(reports);
+    out.push_str(&format!(
+        "verify: {passed}/{total} oracle checks passed (seed {})\n",
+        corpus.seed
+    ));
+    out.push_str(&corpus.stats().trailer());
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,25 +4,70 @@
 
 use ss_sim::pool;
 use ss_verify::corpus::generate_corpus;
-use ss_verify::run::{format_report_line, run_corpus, summarize};
+use ss_verify::run::{format_report_line, render_check_report, run_corpus, summarize};
 use ss_verify::scenario::Budget;
-use ss_verify::{OraclePair, DEFAULT_SEED};
+use ss_verify::{CorpusStats, OraclePair, DEFAULT_SEED};
 use std::collections::HashSet;
+
+/// The committed corpus shape: these numbers are append-only (pairs and
+/// scenarios may only grow) and are the same values the `verify --check`
+/// trailer declares and the conformance manifest (`conform.toml`) expects —
+/// one source of truth instead of per-consumer `PASS`-line scraping.
+#[test]
+fn corpus_stats_pin_the_committed_shape() {
+    let stats = generate_corpus(DEFAULT_SEED).stats();
+    assert_eq!(
+        stats,
+        CorpusStats {
+            pairs: 11,
+            scenarios: 61,
+            seed: DEFAULT_SEED,
+        },
+        "corpus shape changed; grow it append-only and re-bless conform.toml \
+         expectations + fixtures deliberately"
+    );
+    assert_eq!(stats.pairs, OraclePair::ALL.len());
+}
+
+#[test]
+fn check_report_carries_a_parseable_trailer() {
+    // The trailer is what ss-conform and CI read; it must round-trip out of
+    // the rendered report and agree with the corpus it came from.  The LP
+    // pairs are exact (no Monte-Carlo replications), so restricting to them
+    // keeps this a rendering test rather than a third full corpus run.
+    let mut corpus = generate_corpus(DEFAULT_SEED);
+    corpus.scenarios.retain(|s| {
+        matches!(
+            s.spec.pair(),
+            OraclePair::LpPrimalVsDual | OraclePair::AchievableLpVsCmu
+        )
+    });
+    let reports = run_corpus(&corpus, &Budget::check());
+    let report = render_check_report(&corpus, &reports);
+    assert_eq!(CorpusStats::parse(&report), Some(corpus.stats()));
+    // The summary line keeps its historical shape (humans grep for it too).
+    assert!(report.contains(&format!(
+        "verify: {}/{} oracle checks passed (seed {})",
+        corpus.len(),
+        corpus.len(),
+        DEFAULT_SEED
+    )));
+}
 
 #[test]
 fn check_corpus_passes_and_is_thread_count_invariant() {
     let corpus = generate_corpus(DEFAULT_SEED);
+    let stats = corpus.stats();
     assert!(
-        corpus.len() >= 60,
+        stats.scenarios >= 60,
         "corpus has only {} scenarios",
-        corpus.len()
+        stats.scenarios
     );
-    let pairs: HashSet<OraclePair> = corpus.scenarios.iter().map(|s| s.spec.pair()).collect();
     assert_eq!(
-        pairs.len(),
+        stats.pairs,
         OraclePair::ALL.len(),
         "corpus covers only {} oracle pairs",
-        pairs.len()
+        stats.pairs
     );
 
     let budget = Budget::check();

@@ -62,6 +62,7 @@
 
 pub use ss_bandits as bandits;
 pub use ss_batch as batch;
+pub use ss_conform as conform;
 pub use ss_core as core;
 pub use ss_distributions as distributions;
 pub use ss_fabric as fabric;
