@@ -64,7 +64,7 @@ fn main() {
         usage_error("--json and --markdown are mutually exclusive");
     }
     if markdown_mode && !ids.is_empty() {
-        // The markdown document's header claims the full E1-E21 suite; a
+        // The markdown document's header claims the full E1-E22 suite; a
         // subset would silently overwrite EXPERIMENTS.md with partial data.
         usage_error("--markdown regenerates the full document; don't combine it with ids");
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p ss-bench --bin sweeps
 //!     # full recording: threads x {turnpike, heavy_traffic, asymptotic}
-//!     # sweeps plus the concurrent E1-E21 harness at --jobs 1 vs 4;
+//!     # sweeps plus the concurrent E1-E22 harness at --jobs 1 vs 4;
 //!     # prints tables and writes BENCH_sweeps.json
 //! cargo run --release -p ss-bench --bin sweeps -- --json out.json
 //!     # same, custom output path
@@ -85,7 +85,7 @@ fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|v| v.to_bits()).collect()
 }
 
-/// One run of the full E1-E21 harness at `jobs` lanes; returns wall-clock
+/// One run of the full E1-E22 harness at `jobs` lanes; returns wall-clock
 /// and the concatenated report text.
 fn harness_run(jobs: usize) -> (f64, String) {
     let experiments = all_experiments();
@@ -131,11 +131,11 @@ fn write_json(
     body.push_str(
         "  \"workloads\": \"pool-parallelised Monte-Carlo sweeps (turnpike = E6, \
          heavy_traffic = E13, asymptotic = E10 configurations) and the concurrent \
-         E1-E21 experiment harness\",\n",
+         E1-E22 experiment harness\",\n",
     );
     body.push_str(
         "  \"timing\": \"sweeps: best of 3 runs on a dedicated pool; harness: one \
-         full E1-E21 run per jobs value, seconds of wall-clock\",\n",
+         full E1-E22 run per jobs value, seconds of wall-clock\",\n",
     );
     body.push_str("  \"sweeps\": [\n");
     for (i, p) in sweep_points.iter().enumerate() {
@@ -264,7 +264,7 @@ fn main() {
         all_identical &= identical;
         let speedup = serial_secs / seconds;
         println!(
-            "| E1-E21 | {jobs} | {:.1} s | {speedup:.2}x | {identical} |",
+            "| E1-E22 | {jobs} | {:.1} s | {speedup:.2}x | {identical} |",
             seconds
         );
         harness_points.push(HarnessPoint {

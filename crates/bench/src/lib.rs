@@ -3,7 +3,7 @@
 //! Three deliverables live here:
 //!
 //! * the **experiment harness** ([`experiments`]) — one function per
-//!   experiment E1–E21 of `DESIGN.md`; each regenerates the corresponding
+//!   experiment E1–E22 of `DESIGN.md`; each regenerates the corresponding
 //!   table/series of `EXPERIMENTS.md`.  Run all of them with
 //!   `cargo run --release -p ss-bench --bin experiments` (concurrently on
 //!   `--jobs` pool lanes, reports buffered and printed in E-id order), a
@@ -20,7 +20,7 @@
 //!   `BENCH_parallel_replications.json` / `BENCH_sweeps.json` and gate the
 //!   pool's serial/parallel bit-identity (`--check`, used by CI; `sweeps`
 //!   covers the turnpike / heavy-traffic / asymptotic sweeps plus the full
-//!   concurrent E1–E21 harness).
+//!   concurrent E1–E22 harness).
 //!
 //! [`workloads`] holds the shared instance builders so that the harness and
 //! the benches exercise exactly the same configurations.

@@ -45,13 +45,17 @@ fn write_json(
     body.push_str("  \"scenarios\": [\n");
     for (i, (name, r)) in results.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"name\": \"{}\", \"completed\": {}, \"lost\": {}, \"retries\": {}, \
+            "    {{\"name\": \"{}\", \"offered\": {}, \"completed\": {}, \"lost\": {}, \
+             \"retries\": {}, \"shed\": {}, \"timed_out\": {}, \
              \"rtt_mean\": {:.9}, \"rtt_p50\": {:.9}, \"rtt_p95\": {:.9}, \"rtt_p99\": {:.9}, \
              \"events\": {}}}{}\n",
             json::escape(name),
+            r.arrivals,
             r.completed,
             r.lost,
             r.retries,
+            r.shed,
+            r.timed_out,
             r.rtt.mean(),
             r.rtt.quantile(0.50),
             r.rtt.quantile(0.95),

@@ -17,6 +17,10 @@ use ss_core::job::JobClass;
 use ss_distributions::DynDist;
 use ss_queueing::discipline::cmu_discipline;
 
+use crate::resilience::{
+    BreakerConfig, DeadlineConfig, OutageConfig, ShedderConfig, SlowdownConfig,
+};
+
 /// Queue-length truncation used when tabulating Whittle indices for the
 /// [`DisciplineKind::Whittle`] discipline.
 pub const WHITTLE_TRUNCATION: usize = 40;
@@ -160,6 +164,13 @@ pub struct TierConfig {
     /// the forward hop to the next tier and again on the return hop).
     pub hop_delay: f64,
     pub failure: Option<FailureConfig>,
+    /// Windowed failure-rate circuit breaker guarding admissions to this
+    /// tier; `None` = no breaker.
+    pub breaker: Option<BreakerConfig>,
+    /// Tier-wide degraded-service chaos epochs; `None` = never degraded.
+    pub slowdown: Option<SlowdownConfig>,
+    /// Correlated tier-wide outage chaos epochs; `None` = no outages.
+    pub outage: Option<OutageConfig>,
 }
 
 /// A full fabric scenario.
@@ -169,6 +180,14 @@ pub struct FabricConfig {
     pub classes: Vec<ClassConfig>,
     pub tiers: Vec<TierConfig>,
     pub retry: RetryPolicy,
+    /// Per-class request deadlines; `None` = requests never time out.
+    pub deadlines: Option<DeadlineConfig>,
+    /// Token-bucket load shedder at the front tier (fresh arrivals and
+    /// client retries both pass through it); `None` = admit everything.
+    pub shedder: Option<ShedderConfig>,
+    /// Width of the SLA sliding windows tiling `(warmup, horizon]`;
+    /// `None` disables windowed reporting.
+    pub sla_window: Option<f64>,
     /// Statistics-collection window is `(warmup, horizon]`.
     pub warmup: f64,
     pub horizon: f64,
@@ -203,6 +222,24 @@ impl FabricConfig {
             if let Some(f) = &tier.failure {
                 assert!(f.mean_time_to_failure > 0.0 && f.mean_time_to_repair > 0.0);
             }
+            if let Some(b) = &tier.breaker {
+                b.validate();
+            }
+            if let Some(s) = &tier.slowdown {
+                s.validate();
+            }
+            if let Some(o) = &tier.outage {
+                o.validate();
+            }
+        }
+        if let Some(d) = &self.deadlines {
+            d.validate(self.classes.len());
+        }
+        if let Some(s) = &self.shedder {
+            s.validate();
+        }
+        if let Some(w) = self.sla_window {
+            assert!(w > 0.0 && w.is_finite(), "sla_window must be positive");
         }
     }
 
@@ -270,8 +307,14 @@ mod tests {
                 lb: LbPolicy::RoundRobin,
                 hop_delay: 0.0,
                 failure: None,
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy::none(),
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: 10.0,
             horizon: 100.0,
         }

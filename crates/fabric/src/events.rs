@@ -49,4 +49,18 @@ pub enum FabricEvent {
     ReturnHop { tier: usize, req: Request },
     /// A backed-off client re-submits `req` at tier 0.
     Retry { req: Request },
+    /// A tier-wide slowdown epoch begins at `tier`: service times sampled
+    /// while degraded are stretched by the tier's configured multiplier.
+    SlowdownStart { tier: usize },
+    /// The slowdown epoch at `tier` ends.
+    SlowdownEnd { tier: usize },
+    /// A correlated tier-wide outage begins at `tier`: all in-service
+    /// requests abort and no server starts work until the outage ends.
+    OutageStart { tier: usize },
+    /// The outage at `tier` ends; idle servers pull queued work again.
+    OutageEnd { tier: usize },
+    /// The open period `generation` of `tier`'s circuit breaker elapsed;
+    /// the breaker transitions to half-open unless it has tripped again
+    /// since (stale generation — ignored, like a stale `Complete`).
+    BreakerHalfOpen { tier: usize, generation: u64 },
 }

@@ -13,6 +13,7 @@
 //! | Event taxonomy + the request record | [`events`] |
 //! | The event handler on `ss_sim::Engine` and the replication runner | [`sim`] |
 //! | Per-run metrics: counters, waits, utilization, RTT quantile sketch | [`metrics`] |
+//! | Overload resilience: deadlines, breakers, shedding, chaos epochs | [`resilience`] |
 //! | The committed scenario suite and the parallel deterministic runner | [`scenarios`] |
 //!
 //! Queue disciplines are pluggable through
@@ -29,11 +30,13 @@
 //!
 //! The single-tier FIFO M/M/c corner of this simulator is cross-validated
 //! against the Erlang-C mean-wait formula by `ss-verify`'s
-//! `fabric-vs-erlangc` oracle pair.
+//! `fabric-vs-erlangc` oracle pair, and the finite-queue corner against
+//! the M/M/c/K blocking formula by `fabric-vs-mmck`.
 
 pub mod config;
 pub mod events;
 pub mod metrics;
+pub mod resilience;
 pub mod scenarios;
 pub mod sim;
 
@@ -41,8 +44,13 @@ pub use config::{
     ArrivalProcess, ClassConfig, DisciplineKind, FabricConfig, FailureConfig, LbPolicy,
     RetryPolicy, TierConfig,
 };
-pub use metrics::{FabricReport, TierReport};
+pub use metrics::{FabricReport, SlaWindowReport, TierReport};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, DeadlineConfig, OutageConfig, ShedderConfig,
+    SlowdownConfig, TokenBucket,
+};
 pub use scenarios::{
-    aggregate, render_suite_report, run_suite, scenario_list, suite_lines, Budget, DEFAULT_SEED,
+    aggregate, render_suite_report, retry_storm_config, run_suite, scenario_list, suite_lines,
+    Budget, DEFAULT_SEED,
 };
 pub use sim::{replication_seed, run_fabric, run_fabric_with, FABRIC_SIM_STREAM};

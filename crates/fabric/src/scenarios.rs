@@ -1,12 +1,12 @@
 //! The named scenario suite of the `fabric` binary.
 //!
 //! Each scenario exercises one axis of the fabric (load-balancer policy,
-//! discipline, MMPP burstiness, failures, bounded queues + retries); the
-//! runner fans `(scenario, replication)` cells over
-//! [`ss_sim::pool::parallel_indexed`], each cell owning a seed derived from
-//! `substream(FABRIC_SIM_STREAM, scenario · 2^16 + rep)`, and aggregates in
-//! scenario order — so the report is bit-for-bit identical for any
-//! `SS_THREADS`.
+//! discipline, MMPP burstiness, failures, bounded queues + retries,
+//! overload resilience); the runner fans `(scenario, replication)` cells
+//! over [`ss_sim::pool::parallel_indexed`], each cell owning a seed derived
+//! from `substream(FABRIC_SIM_STREAM, scenario · 2^16 + rep)`, and
+//! aggregates in scenario order — so the report is bit-for-bit identical
+//! for any `SS_THREADS`.
 
 use ss_distributions::{dyn_dist, Erlang, Exponential, HyperExponential};
 use ss_sim::pool::parallel_indexed;
@@ -16,7 +16,8 @@ use crate::config::{
     ArrivalProcess, ClassConfig, DisciplineKind, FabricConfig, FailureConfig, LbPolicy,
     RetryPolicy, TierConfig,
 };
-use crate::metrics::{FabricReport, TierReport};
+use crate::metrics::{FabricReport, SlaWindowReport, TierReport};
+use crate::resilience::{BreakerConfig, DeadlineConfig, ShedderConfig, SlowdownConfig};
 use crate::sim::{replication_seed, run_fabric_with};
 
 /// Master seed of the committed scenario suite.
@@ -54,6 +55,78 @@ fn exp(mean: f64) -> ss_distributions::DynDist {
     dyn_dist(Exponential::with_mean(mean))
 }
 
+/// The metastable retry-storm scenario, in both arms of the experiment.
+///
+/// A single M/M/4 central-queue tier runs at ρ = 0.85 with a deep finite
+/// queue, a 6-time-unit request deadline, and clients that re-submit
+/// timed-out work aggressively.  One injected slowdown epoch (service
+/// rate × 0.25) fills the queue past the point where *every* admitted
+/// request finishes after its deadline — and because a timed-out
+/// completion still consumed a full service, the wasted work plus the
+/// timeout-triggered retries keep the effective arrival rate far above
+/// capacity after the trigger clears.  The collapse is metastable: the
+/// overloaded state sustains itself although the fresh load (3.4 < 4) is
+/// comfortably below capacity.
+///
+/// The `protected` arm adds the resilience layer — queue reneging, a
+/// front-tier token-bucket shedder capping admissions just under
+/// capacity, and a windowed-failure-rate circuit breaker — which drains
+/// the wasted work and returns the tier to the good equilibrium.
+pub fn retry_storm_config(protected: bool, budget: &Budget) -> FabricConfig {
+    let b = budget;
+    FabricConfig {
+        name: if protected {
+            "retry-storm-recovery".into()
+        } else {
+            "retry-storm-unprotected".into()
+        },
+        classes: vec![ClassConfig {
+            arrivals: ArrivalProcess::Poisson { rate: 3.4 },
+            holding_cost: 1.0,
+        }],
+        tiers: vec![TierConfig {
+            servers: 4,
+            queue_capacity: Some(64),
+            service: vec![exp(1.0)],
+            discipline: DisciplineKind::Fifo,
+            lb: LbPolicy::CentralQueue,
+            hop_delay: 0.0,
+            failure: None,
+            breaker: protected.then_some(BreakerConfig {
+                window: 40,
+                failure_threshold: 0.5,
+                min_samples: 20,
+                open_duration: 4.0,
+                half_open_probes: 5,
+            }),
+            slowdown: Some(SlowdownConfig {
+                mean_time_to_slowdown: 150.0,
+                mean_slowdown_duration: 120.0,
+                rate_multiplier: 0.25,
+                max_epochs: 1,
+            }),
+            outage: None,
+        }],
+        retry: RetryPolicy {
+            max_retries: 4,
+            base_backoff: 0.5,
+            multiplier: 1.5,
+        },
+        deadlines: Some(DeadlineConfig {
+            deadline: vec![6.0],
+            renege: protected,
+            retry_on_timeout: true,
+        }),
+        shedder: protected.then_some(ShedderConfig {
+            rate: 3.8,
+            burst: 12.0,
+        }),
+        sla_window: Some((b.horizon - b.warmup) / 6.0),
+        warmup: b.warmup,
+        horizon: b.horizon,
+    }
+}
+
 /// The committed scenario list (order is part of the report format).
 pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
     let b = budget;
@@ -74,8 +147,14 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                 lb: LbPolicy::CentralQueue,
                 hop_delay: 0.0,
                 failure: None,
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy::none(),
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
@@ -101,6 +180,9 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                     lb: LbPolicy::JoinShortestQueue,
                     hop_delay: 0.05,
                     failure: None,
+                    breaker: None,
+                    slowdown: None,
+                    outage: None,
                 },
                 TierConfig {
                     servers: 3,
@@ -110,9 +192,15 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                     lb: LbPolicy::RoundRobin,
                     hop_delay: 0.05,
                     failure: None,
+                    breaker: None,
+                    slowdown: None,
+                    outage: None,
                 },
             ],
             retry: RetryPolicy::none(),
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
@@ -141,8 +229,14 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                 lb: LbPolicy::RoundRobin,
                 hop_delay: 0.0,
                 failure: None,
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy::none(),
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
@@ -171,8 +265,14 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                 lb: LbPolicy::JoinShortestQueue,
                 hop_delay: 0.0,
                 failure: None,
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy::none(),
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
@@ -200,8 +300,14 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                 lb: LbPolicy::JoinShortestQueue,
                 hop_delay: 0.0,
                 failure: None,
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy::none(),
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
@@ -224,12 +330,18 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                     mean_time_to_failure: 120.0,
                     mean_time_to_repair: 15.0,
                 }),
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy {
                 max_retries: 3,
                 base_backoff: 0.5,
                 multiplier: 2.0,
             },
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
@@ -257,21 +369,34 @@ pub fn scenario_list(budget: &Budget) -> Vec<FabricConfig> {
                 lb: LbPolicy::JoinShortestQueue,
                 hop_delay: 0.02,
                 failure: None,
+                breaker: None,
+                slowdown: None,
+                outage: None,
             }],
             retry: RetryPolicy {
                 max_retries: 2,
                 base_backoff: 0.4,
                 multiplier: 2.0,
             },
+            deadlines: None,
+            shedder: None,
+            sla_window: None,
             warmup: b.warmup,
             horizon: b.horizon,
         },
+        // 8. The metastable retry storm, protected arm: deadlines +
+        //    reneging + breaker + shedder ride out an injected slowdown
+        //    epoch.  The unprotected arm (same physics, resilience off)
+        //    collapses — the committed comparison lives in the
+        //    graceful-degradation test and experiment E22.
+        retry_storm_config(true, b),
     ]
 }
 
 /// Merge per-replication reports of one scenario into a suite-level report:
-/// counters add, sketches merge, waits combine service-count-weighted, and
-/// utilization averages over the (equal-length) replication windows.
+/// counters add, sketches merge, waits combine service-count-weighted,
+/// utilization averages over the (equal-length) replication windows, and
+/// SLA windows merge index-by-index.
 pub fn aggregate(reports: &[FabricReport]) -> FabricReport {
     assert!(!reports.is_empty());
     let mut rtt = reports[0].rtt.clone();
@@ -295,15 +420,40 @@ pub fn aggregate(reports: &[FabricReport]) -> FabricReport {
                 utilization: reports.iter().map(|r| r.tiers[t].utilization).sum::<f64>()
                     / reports.len() as f64,
                 dropped: reports.iter().map(|r| r.tiers[t].dropped).sum(),
+                fast_failed: reports.iter().map(|r| r.tiers[t].fast_failed).sum(),
+            }
+        })
+        .collect();
+    let windows = (0..reports[0].windows.len())
+        .map(|k| {
+            let mut rtt = reports[0].windows[k].rtt.clone();
+            for r in &reports[1..] {
+                rtt.merge(&r.windows[k].rtt);
+            }
+            SlaWindowReport {
+                start: reports[0].windows[k].start,
+                end: reports[0].windows[k].end,
+                arrivals: reports.iter().map(|r| r.windows[k].arrivals).sum(),
+                completed: reports.iter().map(|r| r.windows[k].completed).sum(),
+                timed_out: reports.iter().map(|r| r.windows[k].timed_out).sum(),
+                dropped: reports.iter().map(|r| r.windows[k].dropped).sum(),
+                shed: reports.iter().map(|r| r.windows[k].shed).sum(),
+                fast_failed: reports.iter().map(|r| r.windows[k].fast_failed).sum(),
+                retries: reports.iter().map(|r| r.windows[k].retries).sum(),
+                rtt,
             }
         })
         .collect();
     FabricReport {
+        arrivals: reports.iter().map(|r| r.arrivals).sum(),
         completed: reports.iter().map(|r| r.completed).sum(),
         lost: reports.iter().map(|r| r.lost).sum(),
         retries: reports.iter().map(|r| r.retries).sum(),
+        shed: reports.iter().map(|r| r.shed).sum(),
+        timed_out: reports.iter().map(|r| r.timed_out).sum(),
         rtt,
         tiers,
+        windows,
         events: reports.iter().map(|r| r.events).sum(),
     }
 }

@@ -16,6 +16,15 @@
 //! | `LB_FAMILY` | tier | weighted load-balancer draws |
 //! | `FAIL_FAMILY` | `tier · 2^16 + server` | failure/repair cycles |
 //! | `RETRY_FAMILY` | class | backoff jitter |
+//! | `SLOWDOWN_FAMILY` | tier | slowdown-epoch onsets/durations |
+//! | `OUTAGE_FAMILY` | tier | correlated-outage onsets/durations |
+//! | `PROBE_FAMILY` | tier | circuit-breaker open-period jitter |
+//!
+//! The resilience features (deadlines, breakers, shedding) consume no
+//! randomness at all except the breaker's open-period jitter, and the
+//! chaos epochs draw only from their own families — so switching any of
+//! them on cannot perturb the arrival or service processes of an
+//! otherwise-identical scenario.
 //!
 //! Ties on the calendar resolve in schedule order (the `(time, seq)`
 //! contract of `ss_sim::events::EventQueue`), and every same-index decision
@@ -36,7 +45,8 @@ use ss_sim::stats::QuantileSketch;
 
 use crate::config::{ArrivalProcess, FabricConfig, LbPolicy};
 use crate::events::{FabricEvent, Request};
-use crate::metrics::{FabricReport, TierReport};
+use crate::metrics::{FabricReport, SlaWindowReport, TierReport};
+use crate::resilience::{CircuitBreaker, TokenBucket};
 
 /// Stream id of the fabric scenario runner's per-replication seeds
 /// (`"FABR"`): replication `rep` of scenario `s` derives its simulation
@@ -51,6 +61,9 @@ const SERVICE_FAMILY: u64 = 0x4641_0003;
 const LB_FAMILY: u64 = 0x4641_0004;
 const FAIL_FAMILY: u64 = 0x4641_0005;
 const RETRY_FAMILY: u64 = 0x4641_0006;
+const SLOWDOWN_FAMILY: u64 = 0x4641_0007;
+const OUTAGE_FAMILY: u64 = 0x4641_0008;
+const PROBE_FAMILY: u64 = 0x4641_0009;
 
 /// The per-replication simulation seed of `(scenario, rep)` under the
 /// shared scheme used by the `fabric` binary and the determinism tests.
@@ -75,9 +88,9 @@ struct ClassState {
 
 struct Server {
     up: bool,
-    /// Bumped on every failure; `Complete` events carry the epoch they
-    /// were scheduled under, so completions of aborted services are
-    /// recognised as stale and ignored.
+    /// Bumped on every failure (or outage onset); `Complete` events carry
+    /// the epoch they were scheduled under, so completions of aborted
+    /// services are recognised as stale and ignored.
     epoch: u64,
     queues: Vec<VecDeque<Request>>,
     /// Total waiting requests across classes (excludes the one in service).
@@ -108,6 +121,17 @@ struct Tier {
     served: u64,
     wait_sum: f64,
     dropped: u64,
+    fast_failed: u64,
+    breaker: Option<CircuitBreaker>,
+    rng_probe: Option<ChaCha8Rng>,
+    /// A tier-wide slowdown epoch is in force.
+    degraded: bool,
+    slowdown_epochs: u64,
+    rng_slowdown: Option<ChaCha8Rng>,
+    /// A correlated tier-wide outage is in force.
+    outage: bool,
+    outage_epochs: u64,
+    rng_outage: Option<ChaCha8Rng>,
 }
 
 /// Discipline selection over a bank of per-class queues: highest index
@@ -130,15 +154,47 @@ fn select_class(discipline: &dyn Discipline, queues: &[VecDeque<Request>]) -> Op
     best.map(|(class, _, _)| class)
 }
 
+/// Per-window SLA accumulators (mirrors [`SlaWindowReport`]).
+struct WindowAcc {
+    arrivals: u64,
+    completed: u64,
+    timed_out: u64,
+    dropped: u64,
+    shed: u64,
+    fast_failed: u64,
+    retries: u64,
+    rtt: QuantileSketch,
+}
+
+impl WindowAcc {
+    fn new() -> Self {
+        Self {
+            arrivals: 0,
+            completed: 0,
+            timed_out: 0,
+            dropped: 0,
+            shed: 0,
+            fast_failed: 0,
+            retries: 0,
+            rtt: QuantileSketch::new(1e-3, 1e3, 1024),
+        }
+    }
+}
+
 struct FabricSim<'a> {
     cfg: &'a FabricConfig,
     tiers: Vec<Tier>,
     classes: Vec<ClassState>,
+    shedder: Option<TokenBucket>,
     next_id: u64,
+    arrivals: u64,
     completed: u64,
     lost: u64,
     retries: u64,
+    shed: u64,
+    timed_out: u64,
     rtt: QuantileSketch,
+    windows: Vec<WindowAcc>,
 }
 
 impl<'a> FabricSim<'a> {
@@ -184,20 +240,50 @@ impl<'a> FabricSim<'a> {
                 served: 0,
                 wait_sum: 0.0,
                 dropped: 0,
+                fast_failed: 0,
+                breaker: tier.breaker.map(CircuitBreaker::new),
+                rng_probe: tier
+                    .breaker
+                    .map(|_| streams.substream(PROBE_FAMILY, t as u64)),
+                degraded: false,
+                slowdown_epochs: 0,
+                rng_slowdown: tier
+                    .slowdown
+                    .map(|_| streams.substream(SLOWDOWN_FAMILY, t as u64)),
+                outage: false,
+                outage_epochs: 0,
+                rng_outage: tier
+                    .outage
+                    .map(|_| streams.substream(OUTAGE_FAMILY, t as u64)),
             })
             .collect();
+        let windows = match cfg.sla_window {
+            Some(w) => {
+                let span = cfg.horizon - cfg.warmup;
+                // The 1e-9 slack keeps a width that divides the span
+                // exactly from spawning a sliver seventh window.
+                let n = ((span / w) - 1e-9).ceil().max(1.0) as usize;
+                (0..n).map(|_| WindowAcc::new()).collect()
+            }
+            None => Vec::new(),
+        };
         Self {
             cfg,
             tiers,
             classes,
+            shedder: cfg.shedder.map(TokenBucket::new),
             next_id: 0,
+            arrivals: 0,
             completed: 0,
             lost: 0,
             retries: 0,
+            shed: 0,
+            timed_out: 0,
             // Wide geometric sketch: 1.35% relative bucket width over
             // [1e-3, 1e3], so P50/P95/P99 stay meaningful even with long
             // retry/backoff tails.
             rtt: QuantileSketch::new(1e-3, 1e3, 1024),
+            windows,
         }
     }
 
@@ -220,6 +306,28 @@ impl<'a> FabricSim<'a> {
         queue.schedule(now + dt, FabricEvent::NextArrival { class, epoch });
     }
 
+    /// The SLA window containing post-warmup instant `t` (`None` during
+    /// warmup or when windows are disabled).
+    fn window_index(&self, t: f64) -> Option<usize> {
+        if self.windows.is_empty() || t <= self.cfg.warmup {
+            return None;
+        }
+        let width = self.cfg.sla_window.expect("windows imply a width");
+        let k = ((t - self.cfg.warmup) / width) as usize;
+        Some(k.min(self.windows.len() - 1))
+    }
+
+    /// The configured deadline of `class`, if any.
+    fn deadline_of(&self, class: usize) -> Option<f64> {
+        self.cfg.deadlines.as_ref().map(|d| d.deadline[class])
+    }
+
+    /// Whether `req` has outlived its deadline at `now`.
+    fn expired(&self, req: &Request, now: f64) -> bool {
+        self.deadline_of(req.class)
+            .is_some_and(|d| now > req.born + d)
+    }
+
     /// Add the in-service interval `[start, end]` of one server to its
     /// post-warmup busy time.
     fn credit_busy(&mut self, tier: usize, server: usize, start: f64, end: f64) {
@@ -231,7 +339,9 @@ impl<'a> FabricSim<'a> {
     }
 
     /// Load-balance `req` onto a server queue of `tier` (or the tier's
-    /// shared queue under [`LbPolicy::CentralQueue`]), or drop it.
+    /// shared queue under [`LbPolicy::CentralQueue`]), or reject it — in
+    /// admission order: deadline renege, front-tier shedder, circuit
+    /// breaker, then the capacity/availability checks.
     fn enqueue_at_tier(
         &mut self,
         tier: usize,
@@ -239,6 +349,27 @@ impl<'a> FabricSim<'a> {
         now: f64,
         queue: &mut EventQueue<FabricEvent>,
     ) {
+        // Client-side renege: an already-expired request never enters the
+        // tier (and burns no shedder token).  Not the tier's fault — the
+        // breaker is not charged.
+        if self.cfg.deadlines.as_ref().is_some_and(|d| d.renege) && self.expired(&req, now) {
+            self.time_out_request(None, req, now, queue);
+            return;
+        }
+        if tier == 0 {
+            if let Some(bucket) = self.shedder.as_mut() {
+                if !bucket.try_admit(now) {
+                    self.shed_request(req, now, queue);
+                    return;
+                }
+            }
+        }
+        if let Some(br) = self.tiers[tier].breaker.as_mut() {
+            if !br.admit() {
+                self.fast_fail(tier, req, now, queue);
+                return;
+            }
+        }
         if matches!(self.cfg.tiers[tier].lb, LbPolicy::CentralQueue) {
             if let Some(cap) = self.cfg.tiers[tier].queue_capacity {
                 if self.tiers[tier].shared_queued >= cap {
@@ -250,11 +381,15 @@ impl<'a> FabricSim<'a> {
             let t = &mut self.tiers[tier];
             t.shared_queues[req.class].push_back(req);
             t.shared_queued += 1;
-            // Hand the work to the lowest-id idle up server, if any.
-            let idle = t
-                .servers
-                .iter()
-                .position(|s| s.up && s.in_service.is_none());
+            // Hand the work to the lowest-id idle up server, if any
+            // (nobody pulls during a tier-wide outage).
+            let idle = if t.outage {
+                None
+            } else {
+                t.servers
+                    .iter()
+                    .position(|s| s.up && s.in_service.is_none())
+            };
             if let Some(server) = idle {
                 self.try_start(tier, server, now, queue);
             }
@@ -262,7 +397,7 @@ impl<'a> FabricSim<'a> {
         }
         let chosen = self.pick_server(tier, req.class);
         let Some(server) = chosen else {
-            // Every server of the tier is down.
+            // Every server of the tier is down (or the tier is out).
             self.drop_request(tier, req, now, queue);
             return;
         };
@@ -282,6 +417,9 @@ impl<'a> FabricSim<'a> {
     /// The load-balancer decision: an up server of `tier`, or `None` when
     /// the whole tier is down.
     fn pick_server(&mut self, tier: usize, _class: usize) -> Option<usize> {
+        if self.tiers[tier].outage {
+            return None;
+        }
         let n = self.tiers[tier].servers.len();
         let any_up = self.tiers[tier].servers.iter().any(|s| s.up);
         if !any_up {
@@ -337,7 +475,9 @@ impl<'a> FabricSim<'a> {
     /// If `(tier, server)` is up and idle, start serving the
     /// highest-priority waiting request per the tier's discipline — from
     /// the server's own queues, or from the tier's shared queue under
-    /// [`LbPolicy::CentralQueue`].
+    /// [`LbPolicy::CentralQueue`].  Under reneging, expired requests are
+    /// discarded for free here (timeout, pick again) instead of wasting a
+    /// service.
     fn try_start(
         &mut self,
         tier: usize,
@@ -346,70 +486,90 @@ impl<'a> FabricSim<'a> {
         queue: &mut EventQueue<FabricEvent>,
     ) {
         let central = matches!(self.cfg.tiers[tier].lb, LbPolicy::CentralQueue);
-        let t = &mut self.tiers[tier];
-        if !t.servers[server].up || t.servers[server].in_service.is_some() {
-            return;
-        }
-        let (class, req) = if central {
-            let Some(class) = select_class(t.discipline.as_ref(), &t.shared_queues) else {
-                return;
-            };
-            t.shared_queued -= 1;
-            let req = t.shared_queues[class]
-                .pop_front()
-                .expect("chosen queue is nonempty");
-            (class, req)
-        } else {
-            if t.servers[server].queued == 0 {
+        let renege = self.cfg.deadlines.as_ref().is_some_and(|d| d.renege);
+        loop {
+            let t = &mut self.tiers[tier];
+            if t.outage || !t.servers[server].up || t.servers[server].in_service.is_some() {
                 return;
             }
-            let class = select_class(t.discipline.as_ref(), &t.servers[server].queues)
-                .expect("queued > 0 implies a nonempty class queue");
+            let (class, req) = if central {
+                let Some(class) = select_class(t.discipline.as_ref(), &t.shared_queues) else {
+                    return;
+                };
+                t.shared_queued -= 1;
+                let req = t.shared_queues[class]
+                    .pop_front()
+                    .expect("chosen queue is nonempty");
+                (class, req)
+            } else {
+                if t.servers[server].queued == 0 {
+                    return;
+                }
+                let class = select_class(t.discipline.as_ref(), &t.servers[server].queues)
+                    .expect("queued > 0 implies a nonempty class queue");
+                let s = &mut t.servers[server];
+                s.queued -= 1;
+                let req = s.queues[class]
+                    .pop_front()
+                    .expect("chosen queue is nonempty");
+                (class, req)
+            };
+            if renege && self.expired(&req, now) {
+                // It waited past its deadline in this tier's queue: the
+                // client is gone.  Charge the tier's breaker and look for
+                // the next live request.
+                self.time_out_request(Some(tier), req, now, queue);
+                continue;
+            }
+            let t = &mut self.tiers[tier];
+            if now > self.cfg.warmup {
+                t.served += 1;
+                t.wait_sum += now - req.enqueued;
+            }
+            let degraded = t.degraded;
             let s = &mut t.servers[server];
-            s.queued -= 1;
-            let req = s.queues[class]
-                .pop_front()
-                .expect("chosen queue is nonempty");
-            (class, req)
-        };
-        if now > self.cfg.warmup {
-            t.served += 1;
-            t.wait_sum += now - req.enqueued;
+            let mut service = self.cfg.tiers[tier].service[class].sample(&mut s.rng_service);
+            if degraded {
+                let m = self.cfg.tiers[tier]
+                    .slowdown
+                    .expect("degraded tier has a slowdown config")
+                    .rate_multiplier;
+                service /= m;
+            }
+            s.in_service = Some(req);
+            s.service_start = now;
+            queue.schedule(
+                now + service,
+                FabricEvent::Complete {
+                    tier,
+                    server,
+                    epoch: s.epoch,
+                },
+            );
+            return;
         }
-        let s = &mut t.servers[server];
-        let service = self.cfg.tiers[tier].service[class].sample(&mut s.rng_service);
-        s.in_service = Some(req);
-        s.service_start = now;
-        queue.schedule(
-            now + service,
-            FabricEvent::Complete {
-                tier,
-                server,
-                epoch: s.epoch,
-            },
-        );
     }
 
-    /// Account a drop at `tier` and either schedule a client retry or give
-    /// the request up for lost.
-    fn drop_request(
+    /// Common client reaction to any rejection: schedule a backed-off
+    /// retry while the attempt budget lasts, else give the request up.
+    fn retry_or_lose(
         &mut self,
-        tier: usize,
         req: Request,
         now: f64,
         queue: &mut EventQueue<FabricEvent>,
+        allow_retry: bool,
     ) {
         let after_warmup = now > self.cfg.warmup;
-        if after_warmup {
-            self.tiers[tier].dropped += 1;
-        }
         let retry = &self.cfg.retry;
-        if req.attempt < retry.max_retries {
+        if allow_retry && req.attempt < retry.max_retries {
             let attempt = req.attempt + 1;
             let jitter = 0.5 + self.classes[req.class].rng_retry.gen::<f64>();
             let backoff = retry.base_backoff * retry.multiplier.powi(attempt as i32 - 1) * jitter;
             if after_warmup {
                 self.retries += 1;
+                if let Some(k) = self.window_index(now) {
+                    self.windows[k].retries += 1;
+                }
             }
             queue.schedule(
                 now + backoff,
@@ -420,6 +580,108 @@ impl<'a> FabricSim<'a> {
         } else if after_warmup {
             self.lost += 1;
         }
+    }
+
+    /// Account a drop at `tier` (queue overflow, dead tier, aborted
+    /// service) and run the client retry path.
+    fn drop_request(
+        &mut self,
+        tier: usize,
+        req: Request,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        if now > self.cfg.warmup {
+            self.tiers[tier].dropped += 1;
+            if let Some(k) = self.window_index(now) {
+                self.windows[k].dropped += 1;
+            }
+        }
+        self.breaker_outcome(tier, true, now, queue);
+        self.retry_or_lose(req, now, queue, true);
+    }
+
+    /// The breaker at `tier` rejected the arrival without touching a queue.
+    fn fast_fail(
+        &mut self,
+        tier: usize,
+        req: Request,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        if now > self.cfg.warmup {
+            self.tiers[tier].fast_failed += 1;
+            if let Some(k) = self.window_index(now) {
+                self.windows[k].fast_failed += 1;
+            }
+        }
+        self.retry_or_lose(req, now, queue, true);
+    }
+
+    /// The front-tier token bucket rejected the arrival.
+    fn shed_request(&mut self, req: Request, now: f64, queue: &mut EventQueue<FabricEvent>) {
+        if now > self.cfg.warmup {
+            self.shed += 1;
+            if let Some(k) = self.window_index(now) {
+                self.windows[k].shed += 1;
+            }
+        }
+        self.retry_or_lose(req, now, queue, true);
+    }
+
+    /// `req` outlived its deadline.  `breaker_tier` charges the tier whose
+    /// queue the request expired in (reneges); client-side detections
+    /// (admission-time renege, discarded completion) charge nobody here —
+    /// the serving tier already recorded the past-deadline completion.
+    fn time_out_request(
+        &mut self,
+        breaker_tier: Option<usize>,
+        req: Request,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        if now > self.cfg.warmup {
+            self.timed_out += 1;
+            if let Some(k) = self.window_index(now) {
+                self.windows[k].timed_out += 1;
+            }
+        }
+        if let Some(tier) = breaker_tier {
+            self.breaker_outcome(tier, true, now, queue);
+        }
+        let allow = self
+            .cfg
+            .deadlines
+            .as_ref()
+            .is_some_and(|d| d.retry_on_timeout);
+        self.retry_or_lose(req, now, queue, allow);
+    }
+
+    /// Feed one request outcome to `tier`'s breaker (if any); on a trip,
+    /// schedule the half-open timer at the jittered open period.
+    fn breaker_outcome(
+        &mut self,
+        tier: usize,
+        failure: bool,
+        now: f64,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let t = &mut self.tiers[tier];
+        let Some(br) = t.breaker.as_mut() else { return };
+        let Some(generation) = br.record(failure) else {
+            return;
+        };
+        let open = br.config().open_duration;
+        let jitter = 0.75
+            + 0.5
+                * t.rng_probe
+                    .as_mut()
+                    .expect("a breaker implies a probe rng")
+                    .gen::<f64>();
+        queue.schedule(
+            now + open * jitter,
+            FabricEvent::BreakerHalfOpen { tier, generation },
+        );
     }
 }
 
@@ -440,6 +702,12 @@ impl EventHandler for FabricSim<'_> {
                     enqueued: time,
                 };
                 self.next_id += 1;
+                if time > self.cfg.warmup {
+                    self.arrivals += 1;
+                    if let Some(k) = self.window_index(time) {
+                        self.windows[k].arrivals += 1;
+                    }
+                }
                 self.enqueue_at_tier(0, req, time, queue);
                 self.schedule_next_arrival(class, time, queue);
             }
@@ -476,6 +744,11 @@ impl EventHandler for FabricSim<'_> {
                     .in_service
                     .take()
                     .expect("a live Complete implies a request in service");
+                // The tier did its work; whether in time is the breaker's
+                // success/failure signal (always a success without
+                // deadlines).
+                let missed = self.expired(&req, time);
+                self.breaker_outcome(tier, missed, time, queue);
                 if tier + 1 < self.tiers.len() {
                     queue.schedule(
                         time + self.cfg.tiers[tier].hop_delay,
@@ -523,9 +796,25 @@ impl EventHandler for FabricSim<'_> {
             }
             FabricEvent::ReturnHop { tier, req } => {
                 if tier == 0 {
+                    let missed = self.expired(&req, time);
                     if time > self.cfg.warmup {
-                        self.completed += 1;
+                        // Every finished trip lands in the sketch — a
+                        // collapsed window must show its honest P99.
                         self.rtt.record(time - req.born);
+                        if !missed {
+                            self.completed += 1;
+                        }
+                        if let Some(k) = self.window_index(time) {
+                            self.windows[k].rtt.record(time - req.born);
+                            if !missed {
+                                self.windows[k].completed += 1;
+                            }
+                        }
+                    }
+                    if missed {
+                        // Finished past deadline: the client already gave
+                        // up, the completion is discarded.
+                        self.time_out_request(None, req, time, queue);
                     }
                 } else {
                     queue.schedule(
@@ -539,6 +828,79 @@ impl EventHandler for FabricSim<'_> {
             }
             FabricEvent::Retry { req } => {
                 self.enqueue_at_tier(0, req, time, queue);
+            }
+            FabricEvent::SlowdownStart { tier } => {
+                let s = self.cfg.tiers[tier]
+                    .slowdown
+                    .expect("slowdown event implies a slowdown config");
+                let t = &mut self.tiers[tier];
+                t.degraded = true;
+                t.slowdown_epochs += 1;
+                let dt = sample_exp(
+                    t.rng_slowdown.as_mut().expect("slowdown rng exists"),
+                    1.0 / s.mean_slowdown_duration,
+                );
+                queue.schedule(time + dt, FabricEvent::SlowdownEnd { tier });
+            }
+            FabricEvent::SlowdownEnd { tier } => {
+                let s = self.cfg.tiers[tier]
+                    .slowdown
+                    .expect("slowdown event implies a slowdown config");
+                let t = &mut self.tiers[tier];
+                t.degraded = false;
+                if s.max_epochs == 0 || t.slowdown_epochs < s.max_epochs {
+                    let dt = sample_exp(
+                        t.rng_slowdown.as_mut().expect("slowdown rng exists"),
+                        1.0 / s.mean_time_to_slowdown,
+                    );
+                    queue.schedule(time + dt, FabricEvent::SlowdownStart { tier });
+                }
+            }
+            FabricEvent::OutageStart { tier } => {
+                let o = self.cfg.tiers[tier]
+                    .outage
+                    .expect("outage event implies an outage config");
+                self.tiers[tier].outage = true;
+                self.tiers[tier].outage_epochs += 1;
+                // The whole tier goes dark at once: every in-service
+                // request aborts (its Complete goes stale via the epoch
+                // bump) and the clients see correlated drops.
+                for server in 0..self.tiers[tier].servers.len() {
+                    let s = &mut self.tiers[tier].servers[server];
+                    if let Some(req) = s.in_service.take() {
+                        s.epoch += 1;
+                        let start = s.service_start;
+                        self.credit_busy(tier, server, start, time);
+                        self.drop_request(tier, req, time, queue);
+                    }
+                }
+                let dt = sample_exp(
+                    self.tiers[tier].rng_outage.as_mut().expect("outage rng"),
+                    1.0 / o.mean_outage_duration,
+                );
+                queue.schedule(time + dt, FabricEvent::OutageEnd { tier });
+            }
+            FabricEvent::OutageEnd { tier } => {
+                let o = self.cfg.tiers[tier]
+                    .outage
+                    .expect("outage event implies an outage config");
+                let t = &mut self.tiers[tier];
+                t.outage = false;
+                if o.max_epochs == 0 || t.outage_epochs < o.max_epochs {
+                    let dt = sample_exp(
+                        t.rng_outage.as_mut().expect("outage rng"),
+                        1.0 / o.mean_time_to_outage,
+                    );
+                    queue.schedule(time + dt, FabricEvent::OutageStart { tier });
+                }
+                for server in 0..self.tiers[tier].servers.len() {
+                    self.try_start(tier, server, time, queue);
+                }
+            }
+            FabricEvent::BreakerHalfOpen { tier, generation } => {
+                if let Some(br) = self.tiers[tier].breaker.as_mut() {
+                    br.half_open(generation);
+                }
             }
         }
     }
@@ -555,7 +917,8 @@ pub fn run_fabric(config: &FabricConfig, seed: u64) -> FabricReport {
 }
 
 /// [`run_fabric`] with prebuilt tier disciplines (index tabulation can
-/// dwarf the simulation itself; share it across replications).
+/// dwarf the simulation itself; build once per scenario, share across
+/// replications).
 pub fn run_fabric_with(
     config: &FabricConfig,
     disciplines: &[Arc<dyn Discipline>],
@@ -585,6 +948,20 @@ pub fn run_fabric_with(
                 engine.schedule(dt, FabricEvent::Fail { tier: t, server: s });
             }
         }
+        if let Some(s) = tier.slowdown {
+            let dt = sample_exp(
+                sim.tiers[t].rng_slowdown.as_mut().expect("slowdown rng"),
+                1.0 / s.mean_time_to_slowdown,
+            );
+            engine.schedule(dt, FabricEvent::SlowdownStart { tier: t });
+        }
+        if let Some(o) = tier.outage {
+            let dt = sample_exp(
+                sim.tiers[t].rng_outage.as_mut().expect("outage rng"),
+                1.0 / o.mean_time_to_outage,
+            );
+            engine.schedule(dt, FabricEvent::OutageStart { tier: t });
+        }
     }
 
     engine.run(&mut sim, config.horizon);
@@ -613,14 +990,37 @@ pub fn run_fabric_with(
             utilization: t.servers.iter().map(|s| s.busy).sum::<f64>()
                 / (window * t.servers.len() as f64),
             dropped: t.dropped,
+            fast_failed: t.fast_failed,
+        })
+        .collect();
+    let width = config.sla_window.unwrap_or(0.0);
+    let windows = sim
+        .windows
+        .into_iter()
+        .enumerate()
+        .map(|(k, w)| SlaWindowReport {
+            start: config.warmup + k as f64 * width,
+            end: (config.warmup + (k + 1) as f64 * width).min(config.horizon),
+            arrivals: w.arrivals,
+            completed: w.completed,
+            timed_out: w.timed_out,
+            dropped: w.dropped,
+            shed: w.shed,
+            fast_failed: w.fast_failed,
+            retries: w.retries,
+            rtt: w.rtt,
         })
         .collect();
     FabricReport {
+        arrivals: sim.arrivals,
         completed: sim.completed,
         lost: sim.lost,
         retries: sim.retries,
+        shed: sim.shed,
+        timed_out: sim.timed_out,
         rtt: sim.rtt,
         tiers,
+        windows,
         events: engine.events_processed,
     }
 }

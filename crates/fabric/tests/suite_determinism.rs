@@ -16,9 +16,12 @@ fn suite_is_thread_count_invariant() {
         assert_eq!(name_a, name_b);
         // Compare the raw bits of every numeric field, not formatted
         // strings, so -0.0 vs 0.0 or a last-ulp drift cannot hide.
+        assert_eq!(a.arrivals, b.arrivals, "{name_a} diverged");
         assert_eq!(a.completed, b.completed, "{name_a} diverged");
         assert_eq!(a.lost, b.lost, "{name_a} diverged");
         assert_eq!(a.retries, b.retries, "{name_a} diverged");
+        assert_eq!(a.shed, b.shed, "{name_a} diverged");
+        assert_eq!(a.timed_out, b.timed_out, "{name_a} diverged");
         assert_eq!(a.events, b.events, "{name_a} diverged");
         assert_eq!(
             a.rtt_mean().to_bits(),
@@ -32,8 +35,22 @@ fn suite_is_thread_count_invariant() {
         for (ta, tb) in a.tiers.iter().zip(&b.tiers) {
             assert_eq!(ta.served, tb.served);
             assert_eq!(ta.dropped, tb.dropped);
+            assert_eq!(ta.fast_failed, tb.fast_failed);
             assert_eq!(ta.mean_wait.to_bits(), tb.mean_wait.to_bits());
             assert_eq!(ta.utilization.to_bits(), tb.utilization.to_bits());
+        }
+        // SLA windows are part of the deterministic surface too.
+        assert_eq!(a.windows.len(), b.windows.len(), "{name_a} diverged");
+        for (wa, wb) in a.windows.iter().zip(&b.windows) {
+            assert_eq!(wa.arrivals, wb.arrivals);
+            assert_eq!(wa.completed, wb.completed);
+            assert_eq!(wa.timed_out, wb.timed_out);
+            assert_eq!(wa.shed, wb.shed);
+            assert_eq!(wa.goodput().to_bits(), wb.goodput().to_bits());
+            assert_eq!(
+                wa.rtt.quantile(0.99).to_bits(),
+                wb.rtt.quantile(0.99).to_bits()
+            );
         }
     }
 }
@@ -59,7 +76,7 @@ fn every_discipline_and_every_axis_appears_in_the_suite() {
     // discipline kind, the MMPP source, failures or bounded queues would
     // silently shrink what `fabric --check` exercises.
     let scenarios = scenario_list(&Budget::check());
-    assert!(scenarios.len() >= 7, "suite shrank to {}", scenarios.len());
+    assert!(scenarios.len() >= 8, "suite shrank to {}", scenarios.len());
     for key in ["fifo", "cmu", "gittins", "whittle"] {
         assert!(
             scenarios
@@ -98,6 +115,33 @@ fn every_discipline_and_every_axis_appears_in_the_suite() {
         scenarios.iter().any(|s| s.tiers.len() >= 2),
         "no multi-tier scenario left in the suite"
     );
+    // The overload-resilience axes added with the retry-storm scenario.
+    assert!(
+        scenarios
+            .iter()
+            .flat_map(|s| &s.tiers)
+            .any(|t| t.breaker.is_some()),
+        "no circuit-breaker scenario left in the suite"
+    );
+    assert!(
+        scenarios
+            .iter()
+            .flat_map(|s| &s.tiers)
+            .any(|t| t.slowdown.is_some()),
+        "no slowdown-chaos scenario left in the suite"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.deadlines.is_some()),
+        "no deadline scenario left in the suite"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.shedder.is_some()),
+        "no load-shedder scenario left in the suite"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.sla_window.is_some()),
+        "no SLA-window scenario left in the suite"
+    );
 }
 
 #[test]
@@ -125,10 +169,16 @@ fn central_queue_mmc_converges_to_erlang_c() {
             lb: LbPolicy::CentralQueue,
             hop_delay: 0.0,
             failure: None,
+            breaker: None,
+            slowdown: None,
+            outage: None,
         }],
         retry: RetryPolicy::none(),
         warmup: 2_000.0,
         horizon: 40_000.0,
+        deadlines: None,
+        shedder: None,
+        sla_window: None,
     };
     let mean = (0..4u64)
         .map(|seed| run_fabric(&cfg, 0xABC0 + seed).tiers[0].mean_wait)

@@ -158,6 +158,64 @@ pub fn mmc_mean_wait(servers: usize, lambda: f64, mu: f64) -> f64 {
     erlang_c(servers, lambda, mu) / (servers as f64 * mu - lambda)
 }
 
+/// Stationary distribution `p_0..p_K` of the M/M/c/K queue (`capacity`
+/// = `K` = the maximum number *in system*, waiting plus in service, so
+/// `capacity >= servers`).  Finite birth–death chain, so no stability
+/// condition: any offered load is fine, including overload.
+///
+/// Unnormalised terms accumulate relative to `p_0 = 1` via
+/// `t_{n+1} = t_n · a / (n+1)` for `n < c` and `t_{n+1} = t_n · ρ` above,
+/// with `a = λ/µ` and `ρ = a/c` — numerically stable for the moderate
+/// buffer sizes finite-queue models use.
+fn mmck_distribution(servers: usize, capacity: usize, lambda: f64, mu: f64) -> Vec<f64> {
+    assert!(servers >= 1 && lambda > 0.0 && mu > 0.0);
+    assert!(
+        capacity >= servers,
+        "system capacity K = {capacity} must admit the {servers} servers"
+    );
+    let a = lambda / mu;
+    let rho = a / servers as f64;
+    let mut terms = Vec::with_capacity(capacity + 1);
+    let mut t = 1.0;
+    terms.push(t);
+    for n in 0..capacity {
+        t *= if n < servers { a / (n + 1) as f64 } else { rho };
+        terms.push(t);
+    }
+    let norm: f64 = terms.iter().sum();
+    terms.iter_mut().for_each(|p| *p /= norm);
+    terms
+}
+
+/// Blocking probability `p_K` of the M/M/c/K queue: by PASTA, the
+/// fraction of Poisson arrivals that find the system full and are lost.
+/// `capacity` counts requests *in system* (waiting + in service).  At
+/// `capacity == servers` this is exactly the Erlang-B loss formula.
+pub fn mmck_blocking_probability(servers: usize, capacity: usize, lambda: f64, mu: f64) -> f64 {
+    *mmck_distribution(servers, capacity, lambda, mu)
+        .last()
+        .expect("the distribution is nonempty")
+}
+
+/// Exact mean queueing delay (time in queue, excluding service) of an
+/// *accepted* request in the M/M/c/K queue: `W_q = L_q / λ (1 − p_K)` by
+/// Little's law on the effective arrival rate.
+pub fn mmck_mean_wait(servers: usize, capacity: usize, lambda: f64, mu: f64) -> f64 {
+    let p = mmck_distribution(servers, capacity, lambda, mu);
+    let lq: f64 = p
+        .iter()
+        .enumerate()
+        .skip(servers + 1)
+        .map(|(n, pn)| (n - servers) as f64 * pn)
+        .sum();
+    let lambda_eff = lambda * (1.0 - p[capacity]);
+    if lambda_eff > 0.0 {
+        lq / lambda_eff
+    } else {
+        0.0
+    }
+}
+
 /// The fast-single-server lower bound on the holding-cost rate of *any*
 /// policy for `m` parallel unit-rate servers: the preemptive cµ optimum of
 /// the M/G/1 queue whose service times are the originals divided by `m`.
@@ -294,6 +352,49 @@ mod tests {
         // Rate scaling: speeding everything up by x scales Wq by 1/x.
         let w = mmc_mean_wait(3, 2.4, 1.0);
         assert!((mmc_mean_wait(3, 4.8, 2.0) - w / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmck_reduces_to_the_known_closed_forms() {
+        // K = c is Erlang B; cross-check against the B recursion that
+        // erlang_c() uses internally (c=2, a=1.5): B_2 = 0.310344827...
+        let a: f64 = 1.5;
+        let mut b = 1.0;
+        for k in 1..=2 {
+            b = a * b / (k as f64 + a * b);
+        }
+        assert!((mmck_blocking_probability(2, 2, 1.5, 1.0) - b).abs() < 1e-12);
+        // c=1 is M/M/1/K: p_K = (1-rho) rho^K / (1 - rho^{K+1}).
+        let rho: f64 = 0.9;
+        let k = 5;
+        let exact = (1.0 - rho) * rho.powi(k) / (1.0 - rho.powi(k + 1));
+        assert!((mmck_blocking_probability(1, k as usize, 0.9, 1.0) - exact).abs() < 1e-12);
+        // rho = 1 on a single server: the distribution is uniform, so
+        // p_K = 1 / (K + 1).
+        assert!((mmck_blocking_probability(1, 4, 1.0, 1.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmck_converges_to_erlang_c_as_the_buffer_grows() {
+        // Large K: blocking vanishes and W_q approaches the M/M/c value.
+        let w_inf = mmc_mean_wait(3, 2.4, 1.0);
+        let w_k = mmck_mean_wait(3, 400, 2.4, 1.0);
+        assert!(mmck_blocking_probability(3, 400, 2.4, 1.0) < 1e-12);
+        assert!((w_k - w_inf).abs() < 1e-9, "W_q {w_k} vs Erlang-C {w_inf}");
+    }
+
+    #[test]
+    fn mmck_handles_overload() {
+        // rho > 1 is fine on a finite buffer; most arrivals are blocked
+        // and the blocking probability approaches 1 - 1/rho (from above:
+        // the sub-c terms only subtract mass) as K grows.
+        let p = mmck_blocking_probability(2, 10, 4.0, 1.0);
+        assert!(p > 0.5 && p < 0.51, "p_K = {p}");
+        let p_deep = mmck_blocking_probability(2, 200, 4.0, 1.0);
+        assert!(
+            (p_deep - 0.5).abs() < 1e-9,
+            "deep-buffer overload: {p_deep}"
+        );
     }
 
     #[test]

@@ -467,6 +467,39 @@ pub fn generate_corpus(seed: u64) -> Corpus {
         );
     }
 
+    // The fabric-vs-M/M/c/K pair: the same single-tier configuration with a
+    // bounded waiting room, checked on the blocking probability.  Shapes
+    // span the family's reductions and regimes: a small Erlang-like buffer,
+    // a single-server chain (the geometric closed form), a near-critical
+    // load, and one deliberate overload point — the regime where Erlang-C
+    // diverges but the finite-buffer formula (and the simulator's drop
+    // accounting) stay well defined.  µ is drawn from the generation
+    // substream as above; λ is set from the target ρ = λ/(cµ).
+    for &(servers, queue_cap, rho) in &[
+        (2usize, 2usize, 0.85),
+        (3, 3, 0.90),
+        (1, 4, 0.90),
+        (4, 4, 1.10),
+        (6, 2, 0.80),
+    ] {
+        let mut rng = streams.substream(GENERATION_STREAM, scenarios.len() as u64);
+        let mu = rng.gen_range(0.5..2.0);
+        let lambda = rho * servers as f64 * mu;
+        push(
+            &mut scenarios,
+            format!(
+                "fabric-mmck c={servers} K={} rho={rho:.2}",
+                servers + queue_cap
+            ),
+            Spec::FabricFinite {
+                servers,
+                queue_cap,
+                lambda,
+                mu,
+            },
+        );
+    }
+
     Corpus { seed, scenarios }
 }
 

@@ -53,11 +53,15 @@ pub enum OraclePair {
     /// The `ss-fabric` service-fabric simulator configured as a single
     /// central-queue FIFO M/M/c tier vs the Erlang-C mean-wait formula.
     FabricVsErlangC,
+    /// The fabric simulator with a *finite* central queue (capacity `K`)
+    /// vs the M/M/c/K blocking probability (the finite-buffer Erlang
+    /// family; `K = c` reduces to Erlang-B).
+    FabricVsMmck,
 }
 
 impl OraclePair {
     /// All pairs, in report order.
-    pub const ALL: [OraclePair; 11] = [
+    pub const ALL: [OraclePair; 12] = [
         OraclePair::FifoVsPollaczekKhinchine,
         OraclePair::NonpreemptiveVsCobham,
         OraclePair::PreemptiveVsFormula,
@@ -69,6 +73,7 @@ impl OraclePair {
         OraclePair::WhittleVsDp,
         OraclePair::SeptLeptVsDp,
         OraclePair::FabricVsErlangC,
+        OraclePair::FabricVsMmck,
     ];
 
     /// Stable machine-readable key (used in report lines and JSON).
@@ -85,6 +90,7 @@ impl OraclePair {
             OraclePair::WhittleVsDp => "whittle-vs-dp",
             OraclePair::SeptLeptVsDp => "sept-lept-vs-dp",
             OraclePair::FabricVsErlangC => "fabric-vs-erlangc",
+            OraclePair::FabricVsMmck => "fabric-vs-mmck",
         }
     }
 

@@ -68,6 +68,7 @@ fn tolerance_for(pair: OraclePair) -> Tolerance {
         OraclePair::WhittleVsDp => Tolerance::monte_carlo(0.06),
         OraclePair::SeptLeptVsDp => Tolerance::monte_carlo(0.05),
         OraclePair::FabricVsErlangC => Tolerance::monte_carlo(0.10),
+        OraclePair::FabricVsMmck => Tolerance::monte_carlo(0.10),
         OraclePair::LpPrimalVsDual | OraclePair::AchievableLpVsCmu => Tolerance::exact(),
     }
 }
@@ -331,10 +332,16 @@ fn run_fabric_erlang(
             lb: LbPolicy::CentralQueue,
             hop_delay: 0.0,
             failure: None,
+            breaker: None,
+            slowdown: None,
+            outage: None,
         }],
         retry: RetryPolicy::none(),
         warmup: budget.warmup,
         horizon: budget.horizon,
+        deadlines: None,
+        shedder: None,
+        sla_window: None,
     };
     let values: Vec<f64> = (0..budget.queue_replications)
         .map(|rep| {
@@ -351,6 +358,80 @@ fn run_fabric_erlang(
         exact,
         stats.ci_half_width_t(budget.confidence),
         tolerance_for(OraclePair::FabricVsErlangC),
+    )
+}
+
+/// The finite-buffer fabric pair: the same single-tier central-queue
+/// configuration as [`run_fabric_erlang`], but with a bounded waiting room
+/// (`queue_capacity = Some(queue_cap)`), making the tier exactly an
+/// M/M/c/K system with `K = servers + queue_cap`.  By PASTA, the fraction
+/// of arrivals dropped at the full tier is the stationary blocking
+/// probability `p_K`, which the exact side computes from the truncated
+/// birth–death distribution (`ss_queueing::parallel_servers`).  Unlike the
+/// Erlang-C pair this one is meaningful in overload (`λ > cµ`), where the
+/// committed corpus deliberately places one scenario.
+fn run_fabric_mmck(
+    scenario_id: usize,
+    servers: usize,
+    queue_cap: usize,
+    lambda: f64,
+    mu: f64,
+    budget: &Budget,
+    streams: &RngStreams,
+) -> Verdict {
+    let config = FabricConfig {
+        name: format!("mmck-c{servers}-k{}", servers + queue_cap),
+        classes: vec![ClassConfig {
+            arrivals: ArrivalProcess::Poisson { rate: lambda },
+            holding_cost: 1.0,
+        }],
+        tiers: vec![TierConfig {
+            servers,
+            queue_capacity: Some(queue_cap),
+            service: vec![ss_distributions::dyn_dist(
+                ss_distributions::Exponential::with_mean(1.0 / mu),
+            )],
+            discipline: DisciplineKind::Fifo,
+            lb: LbPolicy::CentralQueue,
+            hop_delay: 0.0,
+            failure: None,
+            breaker: None,
+            slowdown: None,
+            outage: None,
+        }],
+        retry: RetryPolicy::none(),
+        warmup: budget.warmup,
+        horizon: budget.horizon,
+        deadlines: None,
+        shedder: None,
+        sla_window: None,
+    };
+    let values: Vec<f64> = (0..budget.queue_replications)
+        .map(|rep| {
+            let seed = streams
+                .substream(scenario_id as u64, rep as u64)
+                .gen::<u64>();
+            let tier = &run_fabric(&config, seed).tiers[0];
+            let offered = tier.served + tier.dropped;
+            if offered == 0 {
+                0.0
+            } else {
+                tier.dropped as f64 / offered as f64
+            }
+        })
+        .collect();
+    let stats = OnlineStats::from_slice(&values);
+    let exact = ss_queueing::parallel_servers::mmck_blocking_probability(
+        servers,
+        servers + queue_cap,
+        lambda,
+        mu,
+    );
+    check(
+        stats.mean(),
+        exact,
+        stats.ci_half_width_t(budget.confidence),
+        tolerance_for(OraclePair::FabricVsMmck),
     )
 }
 
@@ -419,6 +500,12 @@ pub fn run_scenario(s: &Scenario, budget: &Budget, streams: &RngStreams) -> Scen
             lambda,
             mu,
         } => run_fabric_erlang(s.id, *servers, *lambda, *mu, budget, streams),
+        Spec::FabricFinite {
+            servers,
+            queue_cap,
+            lambda,
+            mu,
+        } => run_fabric_mmck(s.id, *servers, *queue_cap, *lambda, *mu, budget, streams),
         Spec::ListSchedule {
             rates,
             weights,

@@ -115,6 +115,21 @@ pub enum Spec {
         /// Per-server exponential service rate `µ`.
         mu: f64,
     },
+    /// The service-fabric simulator with a *bounded* central FIFO queue,
+    /// whose tier-0 drop fraction must match the M/M/c/K blocking
+    /// probability (PASTA: the fraction of arrivals finding the system
+    /// full equals the stationary probability of state `K`).
+    FabricFinite {
+        /// Number of parallel servers `c`.
+        servers: usize,
+        /// Waiting-room slots beyond the servers (total capacity
+        /// `K = servers + queue_cap`).
+        queue_cap: usize,
+        /// Poisson arrival rate `λ`.
+        lambda: f64,
+        /// Per-server exponential service rate `µ`.
+        mu: f64,
+    },
     /// Exponential jobs list-scheduled on identical parallel machines,
     /// checked against the exact subset-DP recursions of
     /// `ss_batch::exact_exp`.
@@ -144,6 +159,7 @@ impl Spec {
             Spec::Klimov { .. } => OraclePair::KlimovVsExact,
             Spec::Restless { .. } => OraclePair::WhittleVsDp,
             Spec::Fabric { .. } => OraclePair::FabricVsErlangC,
+            Spec::FabricFinite { .. } => OraclePair::FabricVsMmck,
             Spec::ListSchedule { .. } => OraclePair::SeptLeptVsDp,
         }
     }

@@ -19,8 +19,8 @@ fn corpus_stats_pin_the_committed_shape() {
     assert_eq!(
         stats,
         CorpusStats {
-            pairs: 11,
-            scenarios: 61,
+            pairs: 12,
+            scenarios: 66,
             seed: DEFAULT_SEED,
         },
         "corpus shape changed; grow it append-only and re-bless conform.toml \
@@ -171,6 +171,9 @@ fn growing_the_corpus_did_not_perturb_the_pre_existing_scenarios() {
         OraclePair::FabricVsErlangC
     );
     assert_eq!(corpus.scenarios[56].label, "fabric-mmc c=2 rho=0.60");
+    // PR 7 appended the finite-buffer fabric block after the Erlang-C tail.
+    assert_eq!(corpus.scenarios[61].spec.pair(), OraclePair::FabricVsMmck);
+    assert_eq!(corpus.scenarios[61].label, "fabric-mmck c=2 K=4 rho=0.85");
 }
 
 #[test]
@@ -185,4 +188,32 @@ fn the_fabric_erlang_c_block_spans_server_counts_and_loads() {
     assert!(labels.len() >= 5, "only {} fabric scenarios", labels.len());
     assert!(labels.iter().any(|l| l.contains("c=2")));
     assert!(labels.iter().any(|l| l.contains("c=8")));
+}
+
+#[test]
+fn the_fabric_mmck_block_covers_the_reductions_and_overload() {
+    // The finite-buffer block must keep the shapes that pin down the
+    // M/M/c/K family: a single-server chain (the geometric closed form)
+    // and at least one genuinely overloaded scenario — the regime where
+    // the Erlang-C pair is undefined but blocking still has an exact value.
+    let corpus = generate_corpus(DEFAULT_SEED);
+    let mmck: Vec<_> = corpus
+        .scenarios
+        .iter()
+        .filter(|s| s.spec.pair() == OraclePair::FabricVsMmck)
+        .collect();
+    assert!(mmck.len() >= 5, "only {} fabric-mmck scenarios", mmck.len());
+    assert!(mmck.iter().any(|s| s.label.contains("c=1")));
+    let overloaded = mmck.iter().any(|s| {
+        matches!(
+            s.spec,
+            ss_verify::scenario::Spec::FabricFinite {
+                servers,
+                lambda,
+                mu,
+                ..
+            } if lambda > servers as f64 * mu
+        )
+    });
+    assert!(overloaded, "no overloaded M/M/c/K scenario left");
 }

@@ -38,7 +38,7 @@
 //!
 //! See `DESIGN.md` for the full system inventory (including the execution
 //! pool's architecture) and `EXPERIMENTS.md` for the measured results of
-//! experiments E1–E21, regenerated via
+//! experiments E1–E22, regenerated via
 //! `cargo run --release -p ss-bench --bin experiments`.
 //!
 //! ## Quickstart
