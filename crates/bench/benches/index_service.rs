@@ -1,0 +1,36 @@
+//! Benchmarks of the `ss-index` decision-serving layer: per-decision trait
+//! calls vs batched slab lookups vs no-serving-layer recomputation, across
+//! the shard ladder (see `ss_bench::index_service` for the shared
+//! workloads and the committed perf budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::index_service::{
+    lookup_batched, lookup_single, query_stream, recompute, shards, QUERY_SEED,
+};
+
+fn bench_index_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_service");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for s in shards() {
+        let stream = query_stream(QUERY_SEED, 100_000, s.classes.len());
+        group.bench_with_input(BenchmarkId::new("single", s.name), &s, |b, s| {
+            b.iter(|| lookup_single(&s.table, &stream))
+        });
+        let mut buf = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batched", s.name), &s, |b, s| {
+            b.iter(|| lookup_batched(&s.table, &stream, 1024, &mut buf))
+        });
+        // The no-serving-layer baseline is ~5 orders of magnitude slower
+        // per decision; a short prefix keeps the bench's wall-clock sane.
+        let prefix = &stream[..64];
+        group.bench_with_input(BenchmarkId::new("recompute", s.name), &s, |b, s| {
+            b.iter(|| recompute(&s.classes, s.clock, prefix))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_service);
+criterion_main!(benches);

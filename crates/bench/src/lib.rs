@@ -27,6 +27,7 @@
 
 pub mod conformance;
 pub mod experiments;
+pub mod index_service;
 pub mod json;
 pub mod sweeps;
 pub mod workloads;

@@ -137,12 +137,20 @@ struct Tier {
 /// Discipline selection over a bank of per-class queues: highest index
 /// wins; ties go to the earliest head-of-line arrival, then the lowest
 /// class id (ascending scan + strict comparisons).
+///
+/// A NaN index is clamped to `-∞` *before* any comparison.  The old code
+/// only `debug_assert!`ed: in release a NaN silently lost every strict
+/// `>` — unless it sat in the *first* nonempty class, which is selected
+/// unconditionally, so the outcome depended on class position.  Clamping
+/// makes a poisoned index position-independent (lowest priority, FIFO
+/// tie-break against other `-∞` entries); `ss-index` additionally rejects
+/// NaN at table-build time, so a tabulated discipline can never get here.
 fn select_class(discipline: &dyn Discipline, queues: &[VecDeque<Request>]) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None; // (class, index, head enqueue time)
     for (j, q) in queues.iter().enumerate() {
         let Some(head) = q.front() else { continue };
-        let idx = discipline.class_index(j, q.len());
-        debug_assert!(!idx.is_nan());
+        let raw = discipline.class_index(j, q.len());
+        let idx = if raw.is_nan() { f64::NEG_INFINITY } else { raw };
         let better = match best {
             None => true,
             Some((_, bi, bt)) => idx > bi || (idx == bi && head.enqueued < bt),
@@ -1022,5 +1030,87 @@ pub fn run_fabric_with(
         tiers,
         windows,
         events: engine.events_processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately poisoned discipline: class `nan_class` reports NaN,
+    /// every other class reports its (positive) class id.
+    struct NanAt {
+        nan_class: usize,
+    }
+
+    impl Discipline for NanAt {
+        fn name(&self) -> &str {
+            "nan-at"
+        }
+
+        fn class_index(&self, class: usize, _waiting: usize) -> f64 {
+            if class == self.nan_class {
+                f64::NAN
+            } else {
+                1.0 + class as f64
+            }
+        }
+    }
+
+    fn queues_with_heads(n: usize) -> Vec<VecDeque<Request>> {
+        (0..n)
+            .map(|class| {
+                let mut q = VecDeque::new();
+                q.push_back(Request {
+                    class,
+                    id: class as u64,
+                    born: 0.0,
+                    attempt: 0,
+                    // Earlier enqueue at the poisoned class, so a tie-break
+                    // in its favour would expose NaN leaking into `best`.
+                    enqueued: class as f64,
+                });
+                q
+            })
+            .collect()
+    }
+
+    /// Fails pre-fix: a NaN index in the *first* nonempty class was
+    /// selected unconditionally (while one anywhere else could never win),
+    /// so selection depended on class position.  Post-fix a NaN clamps to
+    /// `-∞` and a real-indexed class wins wherever the NaN sits.
+    #[test]
+    fn nan_index_never_outranks_a_real_index_regardless_of_position() {
+        for nan_class in 0..3 {
+            let queues = queues_with_heads(3);
+            let picked = select_class(&NanAt { nan_class }, &queues)
+                .expect("nonempty queues select something");
+            assert_ne!(
+                picked, nan_class,
+                "NaN at class {nan_class} was selected over finite indices"
+            );
+            // Highest finite index wins: class 2 (index 3.0) unless it is
+            // the poisoned one, then class 1 (index 2.0).
+            let expect = if nan_class == 2 { 1 } else { 2 };
+            assert_eq!(picked, expect, "NaN at class {nan_class}");
+        }
+    }
+
+    /// With every index NaN the clamp makes them all `-∞`-equal, so the
+    /// earliest head-of-line arrival wins — deterministic, position-free.
+    #[test]
+    fn all_nan_indices_fall_back_to_fifo_order() {
+        struct AllNan;
+        impl Discipline for AllNan {
+            fn name(&self) -> &str {
+                "all-nan"
+            }
+            fn class_index(&self, _class: usize, _waiting: usize) -> f64 {
+                f64::NAN
+            }
+        }
+        let mut queues = queues_with_heads(3);
+        queues[1].front_mut().expect("head").enqueued = -1.0;
+        assert_eq!(select_class(&AllNan, &queues), Some(1));
     }
 }

@@ -1,0 +1,86 @@
+//! The rewiring contract of the `ss-index` serving layer: every scenario
+//! simulated through table-backed disciplines produces **byte-identical**
+//! reports to the per-call solver adapters the tables replaced.
+//!
+//! The legacy constructors (`Fifo`, `cmu_discipline`, `gittins_discipline`,
+//! `WhittleQueueDiscipline::new`) are re-instantiated here exactly as
+//! `FabricConfig::build_discipline` used to wire them, so any drift in the
+//! tabulation arithmetic — a reordered solve, a different saturation
+//! boundary, a lost `-∞` pin — shows up as a report diff rather than a
+//! silently re-blessed fixture.
+
+use std::sync::Arc;
+
+use ss_bandits::discipline::WhittleQueueDiscipline;
+use ss_batch::discipline::{gittins_discipline, GittinsGrid};
+use ss_core::discipline::{Discipline, Fifo};
+use ss_fabric::config::{DisciplineKind, FabricConfig, WHITTLE_TRUNCATION};
+use ss_fabric::scenarios::{scenario_list, Budget, DEFAULT_SEED};
+use ss_fabric::sim::run_fabric_with;
+
+/// The pre-`ss-index` wiring, verbatim.
+fn legacy_disciplines(cfg: &FabricConfig) -> Vec<Arc<dyn Discipline>> {
+    (0..cfg.tiers.len())
+        .map(|t| -> Arc<dyn Discipline> {
+            let classes = cfg.job_classes(t);
+            match cfg.tiers[t].discipline {
+                DisciplineKind::Fifo => Arc::new(Fifo),
+                DisciplineKind::Cmu => Arc::new(ss_queueing::discipline::cmu_discipline(&classes)),
+                DisciplineKind::Gittins => {
+                    Arc::new(gittins_discipline(&classes, GittinsGrid::default()))
+                }
+                DisciplineKind::Whittle => {
+                    Arc::new(WhittleQueueDiscipline::new(&classes, WHITTLE_TRUNCATION))
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn table_backed_reports_bit_match_legacy_disciplines() {
+    let budget = Budget::check();
+    for (s, cfg) in scenario_list(&budget).iter().enumerate() {
+        let legacy = legacy_disciplines(cfg);
+        let tables = cfg.build_disciplines();
+        for rep in 0..2u64 {
+            let seed = DEFAULT_SEED ^ (s as u64) << 8 ^ rep;
+            let old = run_fabric_with(cfg, &legacy, seed);
+            let new = run_fabric_with(cfg, &tables, seed);
+            assert_eq!(
+                old.report_lines(&cfg.name),
+                new.report_lines(&cfg.name),
+                "scenario {} rep {rep} diverged under table-backed disciplines",
+                cfg.name
+            );
+        }
+    }
+}
+
+/// The table path must also agree decision-by-decision, not just in
+/// aggregate: every `(class, queue_len)` the simulator can present —
+/// including lengths far past the Whittle truncation — returns the same
+/// bits through the table as through the legacy trait object.
+#[test]
+fn table_lookups_bit_match_legacy_class_index_per_call() {
+    let budget = Budget::check();
+    for cfg in scenario_list(&budget) {
+        let legacy = legacy_disciplines(&cfg);
+        let tables = cfg.build_disciplines();
+        for (t, (old, new)) in legacy.iter().zip(&tables).enumerate() {
+            assert_eq!(old.name(), new.name(), "tier {t} of {}", cfg.name);
+            for class in 0..cfg.classes.len() {
+                for len in (0..=WHITTLE_TRUNCATION + 20).chain([10_000]) {
+                    let a = old.class_index(class, len);
+                    let b = new.class_index(class, len);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} tier {t} class {class} len {len}: {a} vs {b}",
+                        cfg.name
+                    );
+                }
+            }
+        }
+    }
+}

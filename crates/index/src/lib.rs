@@ -1,0 +1,52 @@
+//! # ss-index — the low-latency index service
+//!
+//! The paper's central objects — priority indices (cµ, Gittins, Whittle,
+//! Klimov) — are *computed* elsewhere in this workspace by bisection, DP
+//! and linear solves.  This crate is the **serving layer** between those
+//! solvers and the decision loops that consume their output millions of
+//! times per simulated second: it tabulates every discipline's indices
+//! once into flat, cache-friendly structure-of-arrays slabs, answers
+//! single lookups with one bounds-checked load (zero allocation, no
+//! virtual dispatch needed on the monomorphic path), answers batched
+//! lookups over a caller-owned buffer, and rebuilds tables incrementally
+//! when scenario parameters drift — reusing every piece of converged
+//! solver state whose inputs did not change, bit-for-bit.
+//!
+//! ## Architecture
+//!
+//! * [`IndexTable`] — one immutable SoA slab per tier: `classes × stride`
+//!   contiguous `f64`s, `(class, queue_len)`-addressed with explicit
+//!   saturation at the truncation boundary (`len ≥ stride` clamps to the
+//!   last tabulated entry, which the build guarantees is the boundary
+//!   index — never a garbage read or a sentinel).  NaN entries are a hard
+//!   **build-time** error: a NaN priority index must never reach a
+//!   runtime comparison, where it would lose every strict `>` and make
+//!   selection position-dependent.
+//! * [`TierSpec`] / [`TableKind`] — the solver-agnostic description of
+//!   what to tabulate (which discipline, over which job classes).
+//! * [`IndexService`] — the stateful builder: owns the warm-start caches
+//!   (Whittle idle-time Thomas solves keyed by exact chain bits, Gittins
+//!   grid suprema keyed by a distribution fingerprint, finished rows keyed
+//!   by full parameter bits) and reports what it reused via
+//!   [`RebuildStats`].  A warm rebuild is **bit-identical** to a cold one
+//!   by construction: caches are keyed on the exact bits of every input
+//!   the cached computation consumed, so a hit replays the identical
+//!   floating-point history.
+//!
+//! The service fabric (`ss-fabric`) builds its tier disciplines through
+//! this crate; the `index_service` bench target and its committed
+//! `BENCH_index_service.json` baseline (CI perf-budget gate) measure the
+//! decisions/second the tables serve at realistic sizes.
+
+pub mod service;
+pub mod table;
+
+pub use service::{IndexService, RebuildStats, TableKind, TierSpec};
+pub use table::IndexTable;
+
+/// Tabulate one tier's discipline from a cold start (no cache carried
+/// across calls).  For repeated builds over drifting parameters, hold an
+/// [`IndexService`] instead.
+pub fn build_table(spec: &TierSpec) -> IndexTable {
+    IndexService::new().build(spec)
+}

@@ -1,0 +1,255 @@
+//! The stateful table builder: cold builds, warm-start rebuilds, and the
+//! reuse accounting that makes the warm path auditable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ss_bandits::discipline::{
+    discounted_whittle_table_warm, whittle_uniformization_clock, WhittleSolveCache,
+    WHITTLE_DISCOUNT,
+};
+use ss_batch::discipline::GittinsGrid;
+use ss_batch::preemptive::gittins_service_rate;
+use ss_core::discipline::Discipline;
+use ss_core::job::JobClass;
+use ss_distributions::DynDist;
+use ss_queueing::discipline::cmu_discipline;
+
+use crate::table::IndexTable;
+
+/// Which discipline a tier tabulates.
+#[derive(Debug, Clone, Copy)]
+pub enum TableKind {
+    /// Constant index 0 for every class — global FIFO via the tie-break.
+    Fifo,
+    /// The cµ rule: static per-class index `c_j · µ_j`.
+    Cmu,
+    /// Gittins service index at zero attained service, on the given grid.
+    Gittins(GittinsGrid),
+    /// Discounted Whittle indices of the per-class queue-length projects,
+    /// truncated at `truncation` (states `0..=truncation`).
+    Whittle { truncation: usize },
+}
+
+impl TableKind {
+    /// Short stable key, matching the legacy disciplines' `name()`s (the
+    /// report lines and conformance fixtures depend on these strings).
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::Fifo => "fifo",
+            Self::Cmu => "cmu",
+            Self::Gittins(_) => "gittins",
+            Self::Whittle { .. } => "whittle",
+        }
+    }
+}
+
+/// What one tier's table is built from: the discipline kind and the job
+/// classes (arrival rate, service distribution, holding cost) it ranks.
+#[derive(Clone)]
+pub struct TierSpec {
+    pub kind: TableKind,
+    pub classes: Vec<JobClass>,
+}
+
+/// Reuse accounting of an [`IndexService`]'s lifetime, for tests and
+/// rebuild telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Tables built (cold or warm).
+    pub tables_built: u64,
+    /// Whittle rows copied verbatim from the row cache (nothing drifted).
+    pub whittle_rows_reused: u64,
+    /// Whittle rows rebuilt with cached idle solves (only the holding
+    /// cost drifted: half the Thomas solves skipped).
+    pub whittle_rows_warm: u64,
+    /// Whittle rows built entirely from scratch.
+    pub whittle_rows_cold: u64,
+    /// Gittins grid suprema served from cache (one multiply per row).
+    pub gittins_rates_reused: u64,
+    /// Gittins grid suprema computed fresh.
+    pub gittins_rates_computed: u64,
+}
+
+/// Exact-bits key of one Whittle row: `(a, d, cost, truncation)` plus the
+/// discount.  The uniformization clock is folded into `a` and `d`, so a
+/// drift anywhere in the class set that moves the clock changes every key
+/// — stale reuse is structurally impossible.
+type WhittleRowKey = (u64, u64, u64, usize, u64);
+
+/// Key of one cached Gittins grid supremum: the distribution fingerprint
+/// plus the grid's exact parameter bits.
+type GittinsRateKey = (String, [u64; 10], (u64, u64, usize));
+
+/// Fingerprint of a service distribution as consumed by the Gittins grid
+/// supremum: its family/parameter description, its mean, and its survival
+/// function probed on a geometric ladder spanning the grid's quantum
+/// range — all by exact bits.  Two distributions that collide on every
+/// probe yet differ between them could alias; the distribution families
+/// this workspace ships are parameterized by strictly fewer degrees of
+/// freedom than the probe count, so the fingerprint pins them exactly
+/// (property-tested in `tests/bitmatch_props.rs`).
+fn dist_fingerprint(dist: &DynDist, grid: &GittinsGrid) -> (String, [u64; 10]) {
+    let mut probes = [0u64; 10];
+    probes[0] = dist.mean().to_bits();
+    let ratio = (grid.horizon / grid.min_quantum).powf(1.0 / 8.0);
+    let mut s = grid.min_quantum;
+    for p in probes.iter_mut().skip(1) {
+        *p = dist.sf(s).to_bits();
+        s *= ratio;
+    }
+    (dist.describe(), probes)
+}
+
+fn grid_key(grid: &GittinsGrid) -> (u64, u64, usize) {
+    (
+        grid.min_quantum.to_bits(),
+        grid.horizon.to_bits(),
+        grid.grid_points,
+    )
+}
+
+/// The index service: builds [`IndexTable`]s and carries warm-start state
+/// across builds.
+///
+/// ## Warm-start policy
+///
+/// Every cache is keyed on the **exact bits** of every input the cached
+/// computation consumed, so a hit replays the identical floating-point
+/// history and a warm rebuild is bit-identical to a cold one:
+///
+/// * finished Whittle rows, keyed by `(a, d, cost, truncation, β)` — a
+///   scenario whose class didn't drift at all costs one hash lookup and a
+///   row copy;
+/// * Whittle idle-time Thomas solves, keyed by `(a, d, truncation, β)` —
+///   a pure holding-cost drift reuses them and re-runs only the
+///   cost-to-go half of the solves;
+/// * Gittins grid suprema, keyed by distribution fingerprint + grid — a
+///   holding-cost drift reprices the row with one multiply.
+///
+/// Static cµ rows are a multiply each and are always recomputed.
+#[derive(Default)]
+pub struct IndexService {
+    whittle_idle: WhittleSolveCache,
+    whittle_rows: HashMap<WhittleRowKey, Vec<f64>>,
+    gittins_rates: HashMap<GittinsRateKey, f64>,
+    stats: RebuildStats,
+}
+
+impl IndexService {
+    /// An empty service (all caches cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime reuse counters.
+    pub fn stats(&self) -> RebuildStats {
+        self.stats
+    }
+
+    /// Tabulate one tier per its spec, warm-starting from whatever cached
+    /// state still applies.  The result is a pure function of `spec` —
+    /// cache state can only change how fast it is produced.
+    pub fn build(&mut self, spec: &TierSpec) -> IndexTable {
+        assert!(!spec.classes.is_empty(), "need >= 1 class");
+        let rows: Vec<Vec<f64>> = match &spec.kind {
+            TableKind::Fifo => spec.classes.iter().map(|_| vec![0.0]).collect(),
+            TableKind::Cmu => cmu_discipline(&spec.classes)
+                .indices()
+                .iter()
+                .map(|&v| vec![v])
+                .collect(),
+            TableKind::Gittins(grid) => spec
+                .classes
+                .iter()
+                .map(|c| vec![self.gittins_index(c, grid)])
+                .collect(),
+            TableKind::Whittle { truncation } => {
+                assert!(*truncation >= 2, "truncation below 2 states is degenerate");
+                let clock = whittle_uniformization_clock(&spec.classes);
+                spec.classes
+                    .iter()
+                    .map(|c| self.whittle_row(c, clock, *truncation))
+                    .collect()
+            }
+        };
+        self.stats.tables_built += 1;
+        IndexTable::from_rows(spec.kind.key(), &rows)
+    }
+
+    /// [`IndexService::build`] boxed as a fabric discipline.
+    pub fn build_arc(&mut self, spec: &TierSpec) -> Arc<dyn Discipline> {
+        Arc::new(self.build(spec))
+    }
+
+    /// One class's Gittins index at zero attained service — the same
+    /// `weight · rate` (or passed-through `+∞`) arithmetic as
+    /// `ss_batch::discipline::gittins_discipline`, with the grid supremum
+    /// cached across builds.
+    fn gittins_index(&mut self, class: &JobClass, grid: &GittinsGrid) -> f64 {
+        let (describe, probes) = dist_fingerprint(&class.service, grid);
+        let key = (describe, probes, grid_key(grid));
+        let rate = match self.gittins_rates.get(&key) {
+            Some(&rate) => {
+                self.stats.gittins_rates_reused += 1;
+                rate
+            }
+            None => {
+                let rate = gittins_service_rate(
+                    class.service.as_ref(),
+                    0.0,
+                    grid.min_quantum,
+                    grid.horizon,
+                    grid.grid_points,
+                );
+                self.stats.gittins_rates_computed += 1;
+                self.gittins_rates.insert(key, rate);
+                rate
+            }
+        };
+        if rate.is_infinite() {
+            f64::INFINITY
+        } else {
+            class.holding_cost * rate
+        }
+    }
+
+    /// One class's Whittle row (states `0..=truncation`, empty state
+    /// pinned to `-∞`), replaying exactly the arithmetic of
+    /// `WhittleQueueDiscipline::new` with row- and idle-solve-level reuse.
+    fn whittle_row(&mut self, class: &JobClass, clock: f64, truncation: usize) -> Vec<f64> {
+        let a = class.arrival_rate / clock;
+        let d = class.service_rate() / clock;
+        let key = (
+            a.to_bits(),
+            d.to_bits(),
+            class.holding_cost.to_bits(),
+            truncation,
+            WHITTLE_DISCOUNT.to_bits(),
+        );
+        if let Some(row) = self.whittle_rows.get(&key) {
+            self.stats.whittle_rows_reused += 1;
+            return row.clone();
+        }
+        let before = self.whittle_idle.hits;
+        let idle = self
+            .whittle_idle
+            .idle_solves(a, d, truncation, WHITTLE_DISCOUNT);
+        let mut row = discounted_whittle_table_warm(
+            a,
+            d,
+            class.holding_cost,
+            truncation,
+            WHITTLE_DISCOUNT,
+            idle,
+        );
+        row[0] = f64::NEG_INFINITY;
+        if self.whittle_idle.hits > before {
+            self.stats.whittle_rows_warm += 1;
+        } else {
+            self.stats.whittle_rows_cold += 1;
+        }
+        self.whittle_rows.insert(key, row.clone());
+        row
+    }
+}

@@ -1,0 +1,195 @@
+//! The flat SoA index table and its lookup paths.
+
+use ss_core::discipline::Discipline;
+
+/// A tier's priority indices, tabulated into one contiguous slab.
+///
+/// Layout is class-major: entry `(class, len)` lives at
+/// `class * stride + min(len, stride - 1)`.  The stride is the number of
+/// tabulated queue lengths per class (truncation boundary + 1 for dynamic
+/// disciplines, 1 for static ones, whose index ignores the backlog).
+///
+/// ## Saturation contract
+///
+/// Lookups never fail on the length axis: any `len >= stride` clamps to
+/// the boundary entry `stride - 1`, which the builder guarantees holds the
+/// boundary index of the underlying solver (for Whittle, the ironed index
+/// of the truncated chain's last state; for static tables, the class's
+/// only index).  The class axis is *not* saturating — a class id outside
+/// the tier's class list is a caller bug and panics on the bounds check.
+///
+/// ## NaN policy
+///
+/// Construction rejects NaN entries outright.  ±∞ is allowed: `-∞` is the
+/// deliberate "never compete" pin on empty-state Whittle rows, and `+∞`
+/// is the Gittins "numerically complete" top priority.
+#[derive(Debug, Clone)]
+pub struct IndexTable {
+    name: String,
+    classes: usize,
+    stride: usize,
+    slab: Vec<f64>,
+}
+
+impl IndexTable {
+    /// Build from per-class rows (all the same length).  Hard-errors on
+    /// empty input, ragged rows, or any NaN entry.
+    pub fn from_rows(name: impl Into<String>, rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "index table must cover >= 1 class");
+        let stride = rows[0].len();
+        assert!(stride >= 1, "index table rows must hold >= 1 entry");
+        let mut slab = Vec::with_capacity(rows.len() * stride);
+        for (class, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                stride,
+                "class {class}: ragged row ({} entries, expected {stride})",
+                row.len()
+            );
+            for (len, &v) in row.iter().enumerate() {
+                assert!(
+                    !v.is_nan(),
+                    "class {class}, queue length {len}: NaN priority index rejected at build time"
+                );
+                slab.push(v);
+            }
+        }
+        Self {
+            name: name.into(),
+            classes: rows.len(),
+            stride,
+            slab,
+        }
+    }
+
+    /// Number of classes (rows).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Tabulated entries per class (truncation boundary + 1).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// One class's row, by queue length `0..stride`.
+    pub fn row(&self, class: usize) -> &[f64] {
+        &self.slab[class * self.stride..(class + 1) * self.stride]
+    }
+
+    /// The whole slab (class-major), e.g. for bit-level comparisons.
+    pub fn slab(&self) -> &[f64] {
+        &self.slab
+    }
+
+    /// Single lookup: the index of `(class, len)`, saturating on the
+    /// length axis.  Zero-allocation and branch-light — this is the hot
+    /// path the fabric's `select_class` scan drives.
+    #[inline]
+    pub fn lookup(&self, class: usize, len: usize) -> f64 {
+        self.slab[class * self.stride + len.min(self.stride - 1)]
+    }
+
+    /// Batched lookup: resolve every `(class, len)` query into `out`
+    /// (cleared first) and return the filled slice.  Reusing one buffer
+    /// across calls makes the steady state allocation-free; the loop is a
+    /// straight scan over the query stream with no per-query dispatch.
+    pub fn lookup_batch<'a>(&self, queries: &[(u32, u32)], out: &'a mut Vec<f64>) -> &'a [f64] {
+        out.clear();
+        out.reserve(queries.len());
+        let cap = self.stride - 1;
+        for &(class, len) in queries {
+            out.push(self.slab[class as usize * self.stride + (len as usize).min(cap)]);
+        }
+        out.as_slice()
+    }
+}
+
+impl Discipline for IndexTable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn class_index(&self, class: usize, waiting: usize) -> f64 {
+        self.lookup(class, waiting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> IndexTable {
+        IndexTable::from_rows(
+            "test",
+            &[
+                vec![f64::NEG_INFINITY, 1.0, 2.0, 2.5],
+                vec![0.0, 4.0, 4.0, 4.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_addresses_class_major_and_saturates() {
+        let t = table();
+        assert_eq!((t.classes(), t.stride()), (2, 4));
+        assert_eq!(t.lookup(0, 2), 2.0);
+        assert_eq!(t.lookup(1, 1), 4.0);
+        // Saturation: at and beyond the boundary, exactly the boundary
+        // entry — pinned by bits, not approximate equality.
+        let boundary = t.lookup(0, 3).to_bits();
+        for len in [3usize, 4, 40, usize::MAX] {
+            assert_eq!(t.lookup(0, len).to_bits(), boundary);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_lookups_bit_for_bit() {
+        let t = table();
+        let queries: Vec<(u32, u32)> = (0..2u32)
+            .flat_map(|c| (0..9u32).map(move |l| (c, l)))
+            .collect();
+        let mut buf = Vec::new();
+        let got = t.lookup_batch(&queries, &mut buf);
+        assert_eq!(got.len(), queries.len());
+        for (&(c, l), &v) in queries.iter().zip(got) {
+            assert_eq!(v.to_bits(), t.lookup(c as usize, l as usize).to_bits());
+            assert_eq!(v.to_bits(), t.class_index(c as usize, l as usize).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_buffer_is_reused_without_growth() {
+        let t = table();
+        let queries = vec![(0u32, 1u32); 64];
+        let mut buf = Vec::new();
+        t.lookup_batch(&queries, &mut buf);
+        let cap = buf.capacity();
+        for _ in 0..10 {
+            t.lookup_batch(&queries, &mut buf);
+        }
+        assert_eq!(
+            buf.capacity(),
+            cap,
+            "steady-state batches must not reallocate"
+        );
+    }
+
+    #[test]
+    fn infinities_are_legal_entries() {
+        let t = table();
+        assert_eq!(t.lookup(0, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN priority index rejected")]
+    fn nan_entries_are_a_build_error() {
+        IndexTable::from_rows("bad", &[vec![0.0, f64::NAN]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_are_a_build_error() {
+        IndexTable::from_rows("bad", &[vec![0.0, 1.0], vec![0.0]]);
+    }
+}

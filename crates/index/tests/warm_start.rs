@@ -1,0 +1,150 @@
+//! Warm-start rebuild semantics of [`IndexService`]: a rebuild after
+//! parameter drift is **bit-identical** to a cold build of the drifted
+//! spec, and the [`RebuildStats`] counters prove the intended reuse class
+//! actually happened (row copy, idle-solve warm start, or cached Gittins
+//! rate) instead of silently falling back to cold work.
+
+use ss_batch::discipline::GittinsGrid;
+use ss_core::job::JobClass;
+use ss_distributions::{dyn_dist, Erlang, Exponential};
+use ss_index::{IndexService, TableKind, TierSpec};
+
+fn classes(costs: &[f64]) -> Vec<JobClass> {
+    costs
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| {
+            let service = if j % 2 == 0 {
+                dyn_dist(Exponential::with_mean(0.8 + j as f64 * 0.1))
+            } else {
+                dyn_dist(Erlang::with_mean(3, 1.1))
+            };
+            JobClass::new(j, 0.3 + j as f64 * 0.05, service, c)
+        })
+        .collect()
+}
+
+fn whittle_spec(costs: &[f64]) -> TierSpec {
+    TierSpec {
+        kind: TableKind::Whittle { truncation: 40 },
+        classes: classes(costs),
+    }
+}
+
+fn gittins_spec(costs: &[f64]) -> TierSpec {
+    TierSpec {
+        kind: TableKind::Gittins(GittinsGrid::default()),
+        classes: classes(costs),
+    }
+}
+
+fn assert_same_bits(a: &ss_index::IndexTable, b: &ss_index::IndexTable) {
+    assert_eq!(a.classes(), b.classes());
+    assert_eq!(a.stride(), b.stride());
+    for (x, y) in a.slab().iter().zip(b.slab()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "warm rebuild drifted from cold");
+    }
+}
+
+#[test]
+fn identical_respec_copies_every_whittle_row() {
+    let spec = whittle_spec(&[1.0, 2.0, 0.5]);
+    let mut svc = IndexService::new();
+    let cold = svc.build(&spec);
+    assert_eq!(svc.stats().whittle_rows_cold, 3);
+    assert_eq!(svc.stats().whittle_rows_reused, 0);
+
+    let rebuilt = svc.build(&spec);
+    assert_same_bits(&cold, &rebuilt);
+    let s = svc.stats();
+    assert_eq!(s.whittle_rows_reused, 3, "unchanged rows must be copied");
+    assert_eq!(s.whittle_rows_cold, 3, "no new cold work on respec");
+    assert_eq!(s.whittle_rows_warm, 0);
+    assert_eq!(s.tables_built, 2);
+}
+
+#[test]
+fn holding_cost_drift_reuses_idle_solves_and_stays_bit_identical_to_cold() {
+    let before = whittle_spec(&[1.0, 2.0, 0.5]);
+    let after = whittle_spec(&[1.0, 2.75, 0.5]); // class 1's cost drifts
+
+    let mut svc = IndexService::new();
+    svc.build(&before);
+    let warm = svc.build(&after);
+    let s = svc.stats();
+    // Classes 0 and 2 are untouched: verbatim row copies.  Class 1 shares
+    // its chain (a, d, truncation, beta) with its old self, so the drift
+    // re-runs only the cost half of the solves against cached idle solves.
+    assert_eq!(s.whittle_rows_reused, 2);
+    assert_eq!(s.whittle_rows_warm, 1, "cost drift must warm-start");
+    assert_eq!(s.whittle_rows_cold, 3, "only the initial build was cold");
+
+    let cold = IndexService::new().build(&after);
+    assert_same_bits(&cold, &warm);
+}
+
+#[test]
+fn arrival_rate_drift_is_cold_for_the_drifted_class_only() {
+    // Class 1 owns the uniformization clock (λ + µ = 0.5 + 2.5) in both
+    // arms, so drifting class 0's arrival rate leaves class 1's key (and
+    // the clock itself) untouched.
+    let mk = |arrival0: f64| TierSpec {
+        kind: TableKind::Whittle { truncation: 40 },
+        classes: vec![
+            JobClass::new(0, arrival0, dyn_dist(Exponential::with_mean(0.8)), 1.0),
+            JobClass::new(1, 0.5, dyn_dist(Exponential::with_mean(0.4)), 2.0),
+        ],
+    };
+    let mut svc = IndexService::new();
+    svc.build(&mk(0.3));
+    let before = mk(0.21);
+    let warm = svc.build(&before);
+    let s = svc.stats();
+    assert_eq!(s.whittle_rows_reused, 1, "undrifted class copies its row");
+    assert_eq!(s.whittle_rows_cold, 3, "drifted chain cannot warm-start");
+    assert_eq!(s.whittle_rows_warm, 0);
+
+    assert_same_bits(&IndexService::new().build(&before), &warm);
+}
+
+#[test]
+fn gittins_cost_drift_reuses_cached_grid_suprema() {
+    let before = gittins_spec(&[1.0, 2.0, 0.5]);
+    let after = gittins_spec(&[4.0, 2.0, 0.125]);
+
+    let mut svc = IndexService::new();
+    svc.build(&before);
+    assert_eq!(svc.stats().gittins_rates_computed, 3);
+
+    let warm = svc.build(&after);
+    let s = svc.stats();
+    // The grid supremum is weight-independent: every drifted cost is a
+    // cache hit repriced with one multiply.
+    assert_eq!(s.gittins_rates_reused, 3);
+    assert_eq!(s.gittins_rates_computed, 3);
+
+    assert_same_bits(&IndexService::new().build(&after), &warm);
+}
+
+#[test]
+fn static_kinds_build_single_column_tables() {
+    let mut svc = IndexService::new();
+    let fifo = svc.build(&TierSpec {
+        kind: TableKind::Fifo,
+        classes: classes(&[1.0, 2.0]),
+    });
+    assert_eq!((fifo.classes(), fifo.stride()), (2, 1));
+    assert_eq!(fifo.lookup(0, 10_000).to_bits(), 0.0f64.to_bits());
+
+    let cmu = svc.build(&TierSpec {
+        kind: TableKind::Cmu,
+        classes: classes(&[1.0, 2.0]),
+    });
+    assert_eq!((cmu.classes(), cmu.stride()), (2, 1));
+    // cµ is static in queue length: saturation returns the same index.
+    assert_eq!(
+        cmu.lookup(1, 0).to_bits(),
+        cmu.lookup(1, usize::MAX).to_bits()
+    );
+    assert_eq!(svc.stats().tables_built, 2);
+}

@@ -205,6 +205,13 @@ impl QuantileSketch {
     }
 
     /// Record one observation (must be finite and nonnegative).
+    ///
+    /// The bin mapping is **total** over that domain: `0.0`, `-0.0`
+    /// (which passes `x >= 0.0`), and every subnormal fall under
+    /// `x <= floor` and land in bucket 0 without ever reaching the
+    /// logarithm, so no sub-floor value can produce a NaN ratio or an
+    /// out-of-range bucket; values beyond the cap saturate into the
+    /// overflow bucket.  Mean and max stay exact regardless of bucketing.
     pub fn record(&mut self, x: f64) {
         assert!(
             x.is_finite() && x >= 0.0,
@@ -610,6 +617,48 @@ mod tests {
         assert_eq!(s.quantile(0.99), 0.0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.count(), 0);
+    }
+
+    /// The bin mapping is total at the bottom of the domain: zero,
+    /// negative zero, subnormals, and exactly-at-floor samples all land
+    /// in bucket 0 (they never reach the log), and the exact-moment
+    /// accumulators remain exact.
+    #[test]
+    fn sketch_zero_subnormal_and_at_floor_samples_land_in_bucket_zero() {
+        let floor = 1e-3;
+        let samples = [0.0, -0.0, f64::MIN_POSITIVE, 1e-310, floor];
+        let mut s = QuantileSketch::new(floor, 10.0, 512);
+        for &x in &samples {
+            s.record(x);
+        }
+        assert_eq!(s.count(), samples.len() as u64);
+        // All five sit in the first bucket, so every quantile reports its
+        // upper edge: floor · growth.
+        let growth = (10.0f64 / floor).powf(1.0 / 512.0);
+        for q in [0.01, 0.5, 1.0] {
+            assert!(
+                (s.quantile(q) - floor * growth).abs() < 1e-12,
+                "q{q} left bucket 0"
+            );
+        }
+        // Mean and max are exact, not bucketed: the subnormals and zeros
+        // contribute their true values.
+        let sum: f64 = samples.iter().sum();
+        assert_eq!(s.mean().to_bits(), (sum / 5.0).to_bits());
+        assert_eq!(s.max().to_bits(), floor.to_bits());
+    }
+
+    /// Just-above-floor samples stay adjacent to the floor bucket rather
+    /// than underflowing the `saturating_sub`: the mapping is monotone
+    /// across the floor boundary.
+    #[test]
+    fn sketch_mapping_is_monotone_across_the_floor_boundary() {
+        let floor = 1e-3;
+        let mut below = QuantileSketch::new(floor, 10.0, 512);
+        let mut above = QuantileSketch::new(floor, 10.0, 512);
+        below.record(floor);
+        above.record(floor * (1.0 + 1e-12));
+        assert!(above.quantile(1.0) >= below.quantile(1.0));
     }
 
     #[test]
