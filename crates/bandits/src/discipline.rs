@@ -132,7 +132,9 @@ impl Discipline for WhittleQueueDiscipline {
 /// zero.
 fn solve_threshold_system(a: f64, d: f64, t: usize, n: usize, beta: f64, r: &[f64]) -> Vec<f64> {
     let k = n + 1;
-    debug_assert_eq!(r.len(), k);
+    // Release-mode check: a mis-sized reward vector would read stale
+    // rows of the elimination arrays and solve the wrong system.
+    assert_eq!(r.len(), k, "reward vector length must be n + 1");
     let mut diag = vec![0.0; k];
     let mut sub = vec![0.0; k]; // sub[s] multiplies v[s-1] in row s
     let mut sup = vec![0.0; k]; // sup[s] multiplies v[s+1] in row s

@@ -60,17 +60,18 @@ impl RootCause {
             RootCause::MapOrdering => "map ordering: both artifacts contain the same lines in a \
                                        different order — iteration over a HashMap/HashSet is \
                                        leaking into the output; collect and sort, or use an \
-                                       order-preserving structure"
+                                       order-preserving structure (statically caught by \
+                                       ss-lint L001)"
                 .to_string(),
             RootCause::Timestamp => "timestamp leakage: the diverging line carries a wall-clock \
                                      value (epoch seconds, a date, or a timing line) — route it \
                                      through the artifact preamble or strip it from the \
-                                     deterministic report"
+                                     deterministic report (statically caught by ss-lint L002)"
                 .to_string(),
             RootCause::FloatFormatting => "float formatting: the diverging tokens parse to the \
                                            same number — formatting (not the value) drifted; pin \
                                            one rendering (e.g. `{:.17e}` or raw bits) at the \
-                                           artifact boundary"
+                                           artifact boundary (statically caught by ss-lint L005)"
                 .to_string(),
             RootCause::Unknown {
                 left_len,

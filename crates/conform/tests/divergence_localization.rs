@@ -33,6 +33,12 @@ fn float_formatting_drift_is_localized_and_hinted() {
         "{}",
         d.cause.hint()
     );
+    // The hint cross-links the ss-lint rule that catches this statically.
+    assert!(
+        d.cause.hint().contains("ss-lint L005"),
+        "{}",
+        d.cause.hint()
+    );
     // Hex context: left starts at the ' ' (0x20), right at the extra '0' (0x30).
     assert!(d.left_context.starts_with("20 "), "{}", d.left_context);
     assert!(d.right_context.starts_with("30 "), "{}", d.right_context);
@@ -53,6 +59,11 @@ fn map_ordering_shuffle_is_hinted() {
     assert_eq!(d.offset, 0, "shuffle differs from the very first byte");
     assert_eq!(d.cause, RootCause::MapOrdering);
     assert!(d.cause.hint().contains("HashMap"), "{}", d.cause.hint());
+    assert!(
+        d.cause.hint().contains("ss-lint L001"),
+        "{}",
+        d.cause.hint()
+    );
     // ASCII gloss shows the two different leading lines.
     assert!(
         d.left_context.contains("|alpha mean=0.5 j|"),
@@ -82,6 +93,11 @@ fn injected_timestamp_is_hinted() {
     assert_eq!(d.offset, expected_offset);
     assert_eq!(d.cause, RootCause::Timestamp);
     assert!(d.cause.hint().contains("wall-clock"), "{}", d.cause.hint());
+    assert!(
+        d.cause.hint().contains("ss-lint L002"),
+        "{}",
+        d.cause.hint()
+    );
 }
 
 #[test]

@@ -254,7 +254,10 @@ impl TokenBucket {
 
     /// Spend one token if available at `now`; `false` = shed.
     pub fn try_admit(&mut self, now: f64) -> bool {
-        debug_assert!(now >= self.last, "admission attempts are time-ordered");
+        // Release-mode check (ss-lint L003): an out-of-order admission
+        // would *refund* tokens via a negative elapsed interval — in
+        // release the bucket would silently over-admit.
+        assert!(now >= self.last, "admission attempts are time-ordered");
         self.tokens = (self.tokens + self.cfg.rate * (now - self.last)).min(self.cfg.burst);
         self.last = now;
         if self.tokens >= 1.0 {
@@ -453,5 +456,20 @@ mod tests {
         assert!(tb.try_admit(100.0));
         assert!(tb.try_admit(100.0));
         assert!(!tb.try_admit(100.0));
+    }
+
+    /// The time-ordering guard must hold in release builds too (promoted
+    /// from `debug_assert!` by the ss-lint L003 audit): an out-of-order
+    /// admission would refund tokens through a negative elapsed interval
+    /// and silently over-admit.
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn token_bucket_rejects_time_travel() {
+        let mut tb = TokenBucket::new(ShedderConfig {
+            rate: 2.0,
+            burst: 3.0,
+        });
+        assert!(tb.try_admit(1.0));
+        tb.try_admit(0.5); // earlier than the last admission: must panic
     }
 }

@@ -74,7 +74,13 @@ pub fn replication_seed(streams: &RngStreams, scenario_id: u64, rep: u64) -> u64
 }
 
 fn sample_exp(rng: &mut ChaCha8Rng, rate: f64) -> f64 {
-    debug_assert!(rate > 0.0);
+    // Release-mode check (ss-lint L003): a zero/negative/NaN rate would
+    // silently produce inf/NaN event times in release and corrupt the
+    // calendar far from the cause.
+    assert!(
+        rate > 0.0,
+        "sample_exp requires a positive rate, got {rate}"
+    );
     -(1.0 - rng.gen::<f64>()).ln() / rate
 }
 
@@ -773,7 +779,9 @@ impl EventHandler for FabricSim<'_> {
             }
             FabricEvent::Fail { tier, server } => {
                 let s = &mut self.tiers[tier].servers[server];
-                debug_assert!(s.up, "Fail events are only scheduled while up");
+                // Release-mode check: a double failure would double-bump the
+                // epoch and silently mis-filter stale completions.
+                assert!(s.up, "Fail events are only scheduled while up");
                 s.up = false;
                 s.epoch += 1;
                 let start = s.service_start;
@@ -796,7 +804,7 @@ impl EventHandler for FabricSim<'_> {
                     .failure
                     .expect("recovering tier has a failure config");
                 let s = &mut self.tiers[tier].servers[server];
-                debug_assert!(!s.up);
+                assert!(!s.up, "Recover events are only scheduled while down");
                 s.up = true;
                 let dt = sample_exp(&mut s.rng_fail, 1.0 / failure.mean_time_to_failure);
                 queue.schedule(time + dt, FabricEvent::Fail { tier, server });
@@ -1036,6 +1044,18 @@ pub fn run_fabric_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+
+    /// The positive-rate guard must hold in release builds too (promoted
+    /// from `debug_assert!` by the ss-lint L003 audit): a zero rate would
+    /// schedule an event at `t = inf` and corrupt the calendar far from
+    /// the cause.
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn sample_exp_rejects_nonpositive_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        sample_exp(&mut rng, 0.0);
+    }
 
     /// A deliberately poisoned discipline: class `nan_class` reports NaN,
     /// every other class reports its (positive) class id.

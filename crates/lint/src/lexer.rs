@@ -1,0 +1,425 @@
+//! A small hand-rolled Rust lexer: just enough to run token-level lint
+//! rules without `syn` (the offline vendor policy) and without ever firing
+//! inside comments or string literals (the classic grep-lint failure mode).
+//!
+//! The lexer strips line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`, `/** */`, `/*! */`), and understands string
+//! literals (`"…"` with escapes), raw strings (`r"…"`, `r#"…"#` with any
+//! hash count), byte and byte-raw strings (`b"…"`, `br#"…"#`), character
+//! literals (`'a'`, `'\n'`, `'\u{1F600}'`), lifetimes (`'a`, `'static`),
+//! raw identifiers (`r#type`), numeric literals (decimal, hex/oct/bin with
+//! `_` separators, floats with exponents and type suffixes), identifiers,
+//! and single-character punctuation.  Multi-character operators arrive as
+//! adjacent punctuation tokens (`::` is `:` `:`); rules that care about
+//! `>=` vs `=>` disambiguate by token order.
+//!
+//! String and char literal *contents* are preserved on the token (rules
+//! like L005 inspect format strings), but no rule pattern-matches
+//! identifiers inside them — the token kind keeps the two worlds apart.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// Numeric literal, verbatim as written (`0x4641_0001`, `1.5e-3f64`).
+    Num,
+    /// String literal of any flavour; `text` holds the *inner* content.
+    Str,
+    /// Character literal; `text` holds the inner content.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    /// Consume bytes while `f` holds; returns the consumed range.
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) -> (usize, usize) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+        (start, self.pos)
+    }
+}
+
+/// Lex `src` into a token stream, stripping comments.
+///
+/// The lexer is resilient rather than strict: unterminated literals consume
+/// to end of input instead of erroring, because lint input is always code
+/// that `rustc` already accepted (or a test fixture that is close enough).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                // Line comment (plain or doc): strip to end of line.
+                cur.eat_while(|b| b != b'\n');
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                // Block comment; Rust block comments nest.
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                let text = lex_plain_string(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_string_prefix(&cur) => {
+                let tok = lex_prefixed_literal(&mut cur, line);
+                toks.push(tok);
+            }
+            b'\'' => {
+                let tok = lex_quote(&mut cur, line);
+                toks.push(tok);
+            }
+            _ if is_ident_start(b as char) || b >= 0x80 => {
+                let (s, e) = cur.eat_while(|b| is_ident_continue(b as char) || b >= 0x80);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[s..e].to_string(),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let text = lex_number(&mut cur, src);
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Whether the cursor sits on a string/raw-string/byte-string prefix
+/// (`r"`, `r#"`, `b"`, `br"`, `br#"`, …) as opposed to an identifier that
+/// merely starts with `r` or `b`, or a raw identifier `r#ident`.
+fn starts_string_prefix(cur: &Cursor) -> bool {
+    let mut i = 0;
+    // Optional `b`, then optional `r`.
+    if cur.peek(i) == Some(b'b') {
+        i += 1;
+    }
+    let raw = cur.peek(i) == Some(b'r');
+    if raw {
+        i += 1;
+    }
+    // Hashes are only legal on raw strings.
+    if raw {
+        while cur.peek(i) == Some(b'#') {
+            i += 1;
+        }
+    }
+    cur.peek(i) == Some(b'"') && i > 0
+}
+
+/// Lex a literal starting with `r`/`b` prefixes; falls back to raw
+/// identifiers (`r#type`) which [`starts_string_prefix`] already excluded.
+fn lex_prefixed_literal(cur: &mut Cursor, line: u32) -> Tok {
+    // Consume prefix letters.
+    while matches!(cur.peek(0), Some(b'b') | Some(b'r')) {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    // Opening quote.
+    cur.bump();
+    let mut text = String::new();
+    if hashes == 0 {
+        // r"…" / b"…": no escapes in raw strings, but b"…" has escapes.
+        // Treat both as escape-aware; a raw `\` before `"` can only appear
+        // in byte strings, and over-consuming one char in a pathological
+        // raw string is harmless for rule purposes.
+        while let Some(b) = cur.peek(0) {
+            if b == b'"' {
+                cur.bump();
+                break;
+            }
+            if b == b'\\' {
+                cur.bump();
+                if let Some(e) = cur.bump() {
+                    text.push('\\');
+                    text.push(e as char);
+                }
+                continue;
+            }
+            cur.bump();
+            text.push(b as char);
+        }
+    } else {
+        // r#"…"# with `hashes` terminating hashes: scan for `"` + hashes.
+        'outer: while let Some(b) = cur.peek(0) {
+            if b == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if cur.peek(1 + h) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    break 'outer;
+                }
+            }
+            cur.bump();
+            text.push(b as char);
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Lex a plain `"…"` string (cursor on the opening quote).
+fn lex_plain_string(cur: &mut Cursor) -> String {
+    cur.bump();
+    let mut text = String::new();
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            b'\\' => {
+                cur.bump();
+                if let Some(e) = cur.bump() {
+                    text.push('\\');
+                    text.push(e as char);
+                }
+            }
+            _ => {
+                cur.bump();
+                text.push(b as char);
+            }
+        }
+    }
+    text
+}
+
+/// Lex a `'`-introduced token: char literal or lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32) -> Tok {
+    cur.bump(); // the opening '
+    match (cur.peek(0), cur.peek(1)) {
+        // Escaped char literal: '\n', '\'', '\u{…}'.
+        (Some(b'\\'), _) => {
+            let mut text = String::new();
+            while let Some(b) = cur.peek(0) {
+                if b == b'\'' {
+                    cur.bump();
+                    break;
+                }
+                cur.bump();
+                text.push(b as char);
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+            }
+        }
+        // Plain one-character literal: 'a', '_', '0'.  A lifetime is
+        // never followed by a closing quote.
+        (Some(c), Some(b'\'')) => {
+            cur.bump();
+            cur.bump();
+            Tok {
+                kind: TokKind::Char,
+                text: (c as char).to_string(),
+                line,
+            }
+        }
+        // Lifetime: 'a, 'static, '_.
+        _ => {
+            let (s, e) = cur.eat_while(|b| is_ident_continue(b as char));
+            let text = std::str::from_utf8(&cur.src[s..e])
+                .unwrap_or_default()
+                .to_string();
+            Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+            }
+        }
+    }
+}
+
+/// Lex a numeric literal (cursor on a digit).  Handles `_` separators,
+/// base prefixes, fraction and exponent parts, and type suffixes, while
+/// leaving `0..n` range punctuation and `x.0` field access alone.
+fn lex_number(cur: &mut Cursor, src: &str) -> String {
+    let start = cur.pos;
+    let hex = cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x') | Some(b'X'));
+    if hex || (cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'o') | Some(b'b'))) {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return src[start..cur.pos].to_string();
+    }
+    cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    // Fraction: a '.' followed by a digit (not `..` range, not `.method()`).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    } else if cur.peek(0) == Some(b'.')
+        && !matches!(cur.peek(1), Some(b'.'))
+        && !cur.peek(1).is_some_and(|b| is_ident_start(b as char))
+    {
+        // Trailing-dot float `1.` (legal Rust, rare).
+        cur.bump();
+    }
+    // Exponent: e/E with optional sign, must be followed by a digit —
+    // otherwise it is a suffix/ident boundary (`1e` alone is not a float).
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E')) {
+        let sign = matches!(cur.peek(1), Some(b'+') | Some(b'-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|b| b.is_ascii_digit()) {
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Type suffix (`f64`, `u32`, `usize`): letters/digits glued on.
+    cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    src[start..cur.pos].to_string()
+}
+
+/// Whether a `Num` token's text denotes a floating-point literal.
+pub fn num_is_float(text: &str) -> bool {
+    if text.starts_with("0x")
+        || text.starts_with("0X")
+        || text.starts_with("0o")
+        || text.starts_with("0b")
+    {
+        return false;
+    }
+    if text.ends_with("f64") || text.ends_with("f32") || text.contains('.') {
+        return true;
+    }
+    // A real exponent (`1e9`, `2E-3`) is digit + e/E + optionally-signed
+    // digit; the `e` inside suffixes like `usize` never follows a digit
+    // with a digit after it.
+    let b = text.as_bytes();
+    for i in 1..b.len() {
+        if (b[i] == b'e' || b[i] == b'E') && b[i - 1].is_ascii_digit() {
+            let j = i + 1;
+            if j < b.len() && b[j].is_ascii_digit() {
+                return true;
+            }
+            if j + 1 < b.len() && (b[j] == b'+' || b[j] == b'-') && b[j + 1].is_ascii_digit() {
+                return true;
+            }
+        }
+    }
+    false
+}

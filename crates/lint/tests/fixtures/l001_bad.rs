@@ -1,0 +1,13 @@
+//! Known-bad L001 fixture: std hash collections in an artifact-producing
+//! crate leak iteration order into artifact bytes.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u64]) -> (usize, HashMap<u64, u64>) {
+    let mut seen = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    (seen.len(), HashMap::new())
+}

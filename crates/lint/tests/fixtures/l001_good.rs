@@ -1,0 +1,23 @@
+//! Known-good L001 fixture: ordered containers everywhere; HashMap only
+//! in prose, string literals and test code — none of which may fire.
+
+use std::collections::BTreeMap;
+
+/// Doc comments may say HashMap without tripping the rule.
+pub fn build() -> BTreeMap<u64, u64> {
+    let note = "HashMap and HashSet are banned in artifact crates";
+    let _ = note;
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad L002 fixture: wall-clock reads outside the audited sites.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    drop(t0);
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

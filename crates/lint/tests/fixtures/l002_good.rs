@@ -1,0 +1,22 @@
+//! Known-good L002 fixture: clocks appear only in prose, strings and
+//! test code. `Duration` arithmetic without `now()` is fine.
+
+use std::time::Duration;
+
+/// SystemTime::now() in a doc comment must not fire.
+pub fn timeout() -> Duration {
+    let hint = "call SystemTime::now() or Instant::now() sparingly";
+    let _ = hint;
+    Duration::from_secs(30)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_assertions_are_test_only() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

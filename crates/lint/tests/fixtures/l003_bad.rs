@@ -1,0 +1,8 @@
+//! Known-bad L003 fixture: debug-only guards on numeric validity and
+//! ordering compile out exactly where the invariant matters.
+
+pub fn select(xs: &[f64], horizon: f64, t: f64) -> f64 {
+    debug_assert!(!xs[0].is_nan(), "index must be a number");
+    debug_assert!(t <= horizon, "event beyond the horizon");
+    xs[0]
+}

@@ -1,0 +1,12 @@
+//! Known-good L003 fixture: legitimate debug assertions (integer
+//! structure checks, boolean flags) and constructs that merely look like
+//! comparisons (shifts, turbofish) stay silent; release-mode `assert!`
+//! is always fine.
+
+pub fn check(len: usize, cap: usize, flag: bool, mask: u64) {
+    debug_assert_eq!(len, cap);
+    debug_assert!(flag, "flag must be set");
+    debug_assert!(mask << 2 != 1);
+    debug_assert!(Vec::<u64>::new().is_empty());
+    assert!(len <= cap);
+}

@@ -1,0 +1,4 @@
+//! L004 fixture: stream constants matching l004_registry.md exactly.
+
+pub const ALPHA_STREAM: u64 = 0x0000_0001;
+pub const BETA_FAMILY: u64 = 0x0000_0002;

@@ -1,0 +1,9 @@
+//! Known-bad L005 fixture: unpinned float renderings in a render module.
+
+pub fn render(mean: f64, p99: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("mean={mean}\n"));
+    out.push_str(&format!("p99={}\n", p99));
+    out.push_str(&format!("debug={:?}\n", mean));
+    out
+}

@@ -1,0 +1,11 @@
+//! Known-good L005 fixture: every float rendering is pinned with an
+//! explicit spec; non-float arguments may use bare `{}`.
+
+pub fn render(mean: f64, count: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("mean={mean:.17e}\n"));
+    out.push_str(&format!("bits={:016x}\n", mean.to_bits()));
+    out.push_str(&format!("count={count}\n"));
+    out.push_str(&format!("label={}\n", "alpha"));
+    out
+}

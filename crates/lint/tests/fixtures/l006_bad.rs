@@ -1,0 +1,7 @@
+//! Known-bad L006 fixture: inline seed derivations outside the audited
+//! SplitMix64 mixer in sim/src/rng.rs.
+
+pub fn derive(seed: u64, n: u64) -> u64 {
+    let folded = seed ^ n;
+    folded.wrapping_mul(0x9E37_79B9).wrapping_add(seed)
+}

@@ -1,0 +1,8 @@
+//! Known-good L006 fixture: wrapping arithmetic away from any seed, and
+//! seeds that flow through the audited stream API untouched.
+
+pub fn spawn(streams: &RngStreams, entity_id: u64, replication_seed: u64) -> u64 {
+    let hashed = entity_id.wrapping_mul(31);
+    let _ = replication_seed;
+    streams.stream(hashed)
+}

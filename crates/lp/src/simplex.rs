@@ -34,7 +34,13 @@ struct Tableau {
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
         let pivot_val = self.a[row][col];
-        debug_assert!(pivot_val.abs() > EPS);
+        // Release-mode check (ss-lint L003): dividing by a ~zero pivot
+        // would flood the tableau with inf/NaN and report garbage optima
+        // instead of failing at the cause.
+        assert!(
+            pivot_val.abs() > EPS,
+            "simplex pivot on a numerically zero element ({pivot_val:e})"
+        );
         // Normalise pivot row.
         for j in 0..=self.cols {
             self.a[row][j] /= pivot_val;

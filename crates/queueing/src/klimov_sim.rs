@@ -208,7 +208,9 @@ pub fn simulate_klimov_policy(
             if let Some(c) = next_class {
                 let mut itinerary = queues[c].pop_front().unwrap();
                 let (class, service) = itinerary.pop_front().expect("queued job without visits");
-                debug_assert_eq!(class, c);
+                // Release-mode check: a queue/itinerary mismatch would
+                // serve the wrong class and silently skew every statistic.
+                assert_eq!(class, c, "queued visit class must match its queue");
                 work_pending -= service;
                 completion = t + service;
                 in_service = Some((c, itinerary));

@@ -144,7 +144,7 @@ fn main() {
         for s in &corpus.scenarios {
             println!("#{:<3} {:<24} {}", s.id, s.spec.pair().key(), s.label);
         }
-        let distinct: std::collections::HashSet<&str> = corpus
+        let distinct: std::collections::BTreeSet<&str> = corpus
             .scenarios
             .iter()
             .map(|s| s.spec.pair().key())

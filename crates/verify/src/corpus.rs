@@ -177,8 +177,8 @@ impl Corpus {
     /// the `verify --check` trailer, the conformance manifest expectations
     /// and the corpus-pin tests all read.
     pub fn stats(&self) -> CorpusStats {
-        let pairs: std::collections::HashSet<_> =
-            self.scenarios.iter().map(|s| s.spec.pair()).collect();
+        let pairs: std::collections::BTreeSet<_> =
+            self.scenarios.iter().map(|s| s.spec.pair().key()).collect();
         CorpusStats {
             pairs: pairs.len(),
             scenarios: self.scenarios.len(),

@@ -72,6 +72,7 @@ pub use ss_core as core;
 pub use ss_distributions as distributions;
 pub use ss_fabric as fabric;
 pub use ss_index as index;
+pub use ss_lint as lint;
 pub use ss_lp as lp;
 pub use ss_mdp as mdp;
 pub use ss_queueing as queueing;
